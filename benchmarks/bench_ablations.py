@@ -1,0 +1,58 @@
+"""Benchmarks A1-A3 — the design-choice ablations behind the figures."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_batch_cap(benchmark):
+    """A1: why Figure 5 flattens — benefit saturates at the 14-message
+    cap derived from the 8 KB data cache."""
+    sweep = benchmark.pedantic(
+        lambda: ablations.batch_cap_sweep(caps=(1, 4, 14, 32), duration=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    misses = [round(r.misses.total) for r in sweep.ldlp]
+    benchmark.extra_info["caps"] = [1, 4, 14, 32]
+    benchmark.extra_info["ldlp_misses"] = misses
+    # Monotone improvement that saturates: cap 14 ≈ cap 32.
+    assert misses[0] > misses[1] > misses[2]
+    assert misses[3] > misses[2] * 0.8
+
+
+def test_ablation_miss_penalty(benchmark):
+    """A2: LDLP's advantage scales with the memory/CPU speed gap."""
+    sweep = benchmark.pedantic(
+        lambda: ablations.miss_penalty_sweep(
+            penalties=(0, 10, 20, 60), rate=5000, duration=0.1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    advantages = [
+        conv.cycles_per_message / ldlp.cycles_per_message
+        for conv, ldlp in zip(sweep.conventional, sweep.ldlp)
+    ]
+    benchmark.extra_info["penalties"] = [0, 10, 20, 60]
+    benchmark.extra_info["cycle_advantage"] = [round(a, 2) for a in advantages]
+    assert advantages[0] < 1.05  # no memory gap, no benefit
+    assert advantages[-1] > advantages[1]  # grows with the gap
+
+
+def test_ablation_code_size(benchmark):
+    """A3: the Figure-4 boundary — LDLP helps only when the stack
+    exceeds the instruction cache."""
+    sweep = benchmark.pedantic(
+        lambda: ablations.code_size_sweep(
+            code_sizes=(1024, 6144, 12288), rate=3500, duration=0.1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    advantages = [
+        conv.cycles_per_message / ldlp.cycles_per_message
+        for conv, ldlp in zip(sweep.conventional, sweep.ldlp)
+    ]
+    benchmark.extra_info["code_sizes"] = [1024, 6144, 12288]
+    benchmark.extra_info["cycle_advantage"] = [round(a, 2) for a in advantages]
+    assert advantages[0] < 1.1  # cache-resident stack: no benefit
+    assert advantages[-1] > 1.3

@@ -1,0 +1,48 @@
+"""Benchmarks for the extensions: grouped-LDLP scheduling and the
+introduction's cross-network setup-time arithmetic."""
+
+from repro.experiments import motivation
+from repro.sim import SimulationConfig, run_simulation
+from repro.traffic import PoissonSource
+
+
+def test_grouped_scheduler_ranking(benchmark):
+    """Grouped LDLP sits between conventional and per-layer LDLP when
+    layers are small enough to share cache-sized groups."""
+
+    def sweep():
+        source = PoissonSource(6000, rng=6)
+        arrivals = source.arrival_list(0.1)
+        costs = {}
+        for name in ("conventional", "grouped", "ldlp"):
+            config = SimulationConfig(
+                scheduler=name, duration=0.1, layer_code_bytes=2048
+            )
+            costs[name] = run_simulation(
+                source, config, seed=6, arrivals=arrivals
+            ).cycles_per_message
+        return costs
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_per_message"] = {
+        name: round(value) for name, value in costs.items()
+    }
+    assert costs["ldlp"] <= costs["grouped"] * 1.05
+    assert costs["grouped"] < costs["conventional"]
+
+
+def test_motivation_setup_chain(benchmark):
+    """The intro's arithmetic: 20 switches at 10k pairs/s per switch."""
+    result = benchmark.pedantic(
+        lambda: motivation.run(duration=0.2), rounds=1, iterations=1
+    )
+    conv_20 = result.end_to_end(result.conventional_per_hop, 20)
+    ldlp_20 = result.end_to_end(result.ldlp_per_hop, 20)
+    benchmark.extra_info["conventional_20hop_ms"] = round(conv_20 * 1e3)
+    benchmark.extra_info["ldlp_20hop_ms"] = round(ldlp_20 * 1e3)
+    benchmark.extra_info["paper_quote"] = (
+        "could add a large fraction of a second to the connection setup "
+        "time across a large network"
+    )
+    assert conv_20 > 0.3
+    assert ldlp_20 < 0.1

@@ -1,0 +1,21 @@
+"""Benchmark F1 — regenerate Figure 1 (phase totals + active-code map)."""
+
+from repro.experiments import figure1
+from repro.netbsd.layers import PAPER_PHASES
+
+
+def test_figure1_reproduction(benchmark):
+    result = benchmark(figure1.run, seed=0)
+    assert result.within_tolerance(rel=0.25)
+    for paper in PAPER_PHASES:
+        got = result.measured(paper.label)
+        key = paper.label.replace(" ", "_")
+        benchmark.extra_info[f"{key}_code_bytes"] = got.code.bytes
+        benchmark.extra_info[f"{key}_code_bytes_paper"] = paper.code_bytes
+        benchmark.extra_info[f"{key}_code_refs"] = got.code.refs
+        benchmark.extra_info[f"{key}_code_refs_paper"] = paper.code_refs
+        benchmark.extra_info[f"{key}_read_bytes"] = got.read.bytes
+        benchmark.extra_info[f"{key}_read_bytes_paper"] = paper.read_bytes
+    # The map must show the big players.
+    code_map = result.code_map()
+    assert "tcp_input" in code_map and "soreceive" in code_map

@@ -1,0 +1,36 @@
+"""Benchmark F5 — regenerate Figure 5 (misses/message vs arrival rate).
+
+Runs a reduced-scale sweep (benchmark-timed), asserts the paper's
+qualitative shape, and records the endpoint series in ``extra_info``.
+Full-scale: ``ldlp-experiment figure5 --paper-scale``.
+"""
+
+from repro.experiments import figure5
+
+RATES = (1000, 4000, 7000, 9500)
+
+
+def run_sweep():
+    return figure5.run(rates=RATES, seeds=(0, 1), duration=0.1)
+
+
+def test_figure5_reproduction(benchmark):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    assert result.shape_holds()
+    benchmark.extra_info["rates"] = list(RATES)
+    benchmark.extra_info["conv_total_misses"] = [
+        round(r.misses.total) for r in result.conventional
+    ]
+    benchmark.extra_info["ldlp_instruction_misses"] = [
+        round(r.misses.instruction) for r in result.ldlp
+    ]
+    benchmark.extra_info["ldlp_data_misses"] = [
+        round(r.misses.data) for r in result.ldlp
+    ]
+    benchmark.extra_info["ldlp_batch"] = [
+        round(r.mean_batch_size, 1) for r in result.ldlp
+    ]
+    benchmark.extra_info["paper_shape"] = (
+        "conventional flat ~1000; LDLP I-misses fall >5x, flatten at the "
+        "14-message batch cap; D-misses rise slightly"
+    )

@@ -1,0 +1,31 @@
+"""Benchmark F8 — regenerate Figure 8 (checksum cache effects), plus
+real-time throughput of the two actual checksum implementations."""
+
+from repro.experiments import figure8
+from repro.protocols import internet_checksum, internet_checksum_unrolled
+
+
+def test_figure8_reproduction(benchmark):
+    result = benchmark(figure8.run)
+    assert result.shape_holds()
+    benchmark.extra_info["cold_crossover_bytes"] = result.cold_crossover()
+    benchmark.extra_info["paper_crossover_bytes"] = 900
+    benchmark.extra_info["bsd_cold_intercept"] = result.bsd_cold[0]
+    benchmark.extra_info["paper_bsd_cold_intercept"] = 426
+    benchmark.extra_info["simple_cold_intercept"] = result.simple_cold[0]
+    benchmark.extra_info["paper_simple_cold_intercept"] = 176
+
+
+DATA = bytes(range(256)) * 4  # 1024 bytes
+
+
+def test_simple_checksum_throughput(benchmark):
+    """Wall-clock of the simple routine (implementation microbenchmark)."""
+    result = benchmark(internet_checksum, DATA)
+    assert result == internet_checksum_unrolled(DATA)
+
+
+def test_unrolled_checksum_throughput(benchmark):
+    """Wall-clock of the unrolled routine."""
+    result = benchmark(internet_checksum_unrolled, DATA)
+    assert result == internet_checksum(DATA)

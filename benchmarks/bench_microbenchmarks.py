@@ -1,0 +1,109 @@
+"""Implementation microbenchmarks: how fast is the simulator itself?
+
+These time the hot paths of the reproduction infrastructure (cache
+probes, scheduler steps, stack traversal, signalling parse) — useful
+for spotting performance regressions in the library, and explicitly
+*not* reproduction metrics (the paper's numbers come from the simulated
+cycle model, not Python wall-clock).
+"""
+
+import numpy as np
+
+from repro.cache import DirectMappedCache
+from repro.core import ConventionalScheduler, LDLPScheduler, MachineBinding, Message
+from repro.machine import MemoryLayout
+from repro.netbsd import ReceivePathModel
+from repro.protocols import TcpSender, build_tcp_receive_stack
+from repro.sim import build_paper_stack
+from repro.signalling import SignallingMessage, setup
+
+
+def test_cache_span_probe(benchmark):
+    """Vectorized 6 KB code sweep against an 8 KB direct-mapped cache."""
+    cache = DirectMappedCache(8192, 32)
+
+    def sweep():
+        return cache.access_span(0, 6144)
+
+    benchmark(sweep)
+
+
+def test_cache_scalar_probe(benchmark):
+    """Scalar single-line probes (the exact path)."""
+    cache = DirectMappedCache(8192, 32)
+    lines = list(range(512))
+
+    def probe_all():
+        total = 0
+        for line in lines:
+            total += cache.access_line(line)
+        return total
+
+    benchmark(probe_all)
+
+
+def test_ldlp_scheduler_throughput(benchmark):
+    """Messages/second through the bound five-layer LDLP stack."""
+
+    def run_batch():
+        binding = MachineBinding(rng=1)
+        scheduler = LDLPScheduler(build_paper_stack(), binding)
+        scheduler.run_to_completion([Message(size=552) for _ in range(100)])
+        return binding.cpu.cycles
+
+    benchmark.pedantic(run_batch, rounds=5, iterations=1)
+
+
+def test_conventional_scheduler_throughput(benchmark):
+    def run_batch():
+        binding = MachineBinding(rng=1)
+        scheduler = ConventionalScheduler(build_paper_stack(), binding)
+        scheduler.run_to_completion([Message(size=552) for _ in range(100)])
+        return binding.cpu.cycles
+
+    benchmark.pedantic(run_batch, rounds=5, iterations=1)
+
+
+def test_byte_stack_frame_processing(benchmark):
+    """Full byte-level receive path: parse + checksum + TCP + socket."""
+    stack = build_tcp_receive_stack("10.0.0.1", 80)
+    stack.socket.receive_buffer.hiwat = 1 << 24
+    scheduler = ConventionalScheduler(stack.layers)
+    sender = TcpSender(src="10.0.0.9", dst="10.0.0.1", src_port=7777, dst_port=80)
+    scheduler.run_to_completion([Message(payload=sender.syn())])
+    scheduler.run_to_completion(
+        [Message(payload=sender.complete_handshake(stack.transmitted[-1]))]
+    )
+    payload = b"x" * 512
+
+    def one_frame():
+        scheduler.run_to_completion([Message(payload=sender.data(payload))])
+
+    benchmark(one_frame)
+
+
+def test_signalling_parse(benchmark):
+    """Wire-format parse of a SETUP message."""
+    wire = setup(12345, "host-77.example", calling_party="client-3").serialize()
+    result = benchmark(SignallingMessage.parse, wire)
+    assert result.call_ref == 12345
+
+
+def test_receive_path_trace_generation(benchmark):
+    """One full three-phase NetBSD trace (65k references)."""
+    model = ReceivePathModel(seed=0)
+    trace = benchmark.pedantic(model.build_trace, rounds=3, iterations=1)
+    assert len(trace.refs) > 50_000
+
+
+def test_random_placement(benchmark):
+    """Placing the five-layer stack randomly (per-run setup cost)."""
+
+    def place():
+        layout = MemoryLayout(rng=np.random.default_rng(3))
+        from repro.machine import Region
+
+        for index in range(12):
+            layout.place_random(Region(f"r{index}", 6144))
+
+    benchmark(place)

@@ -1,0 +1,34 @@
+"""Benchmarks for the Section 5 studies: layout compaction (Cord,
+§5.4) and CISC code density (§5.2)."""
+
+from repro.experiments import ablations
+from repro.netbsd import run_cord_experiment
+
+
+def test_cord_compaction(benchmark):
+    """§5.4: measure dilution and verify by compacting the real trace."""
+    result = benchmark.pedantic(run_cord_experiment, rounds=1, iterations=1)
+    benchmark.extra_info["dilution_pct"] = round(result.before.dilution * 100, 1)
+    benchmark.extra_info["paper_dilution_pct"] = 25
+    savings = 1 - result.lines_measured_after / result.before.lines_before
+    benchmark.extra_info["line_savings_pct"] = round(savings * 100, 1)
+    assert 0.18 < result.before.dilution < 0.35
+    assert 0.18 < savings < 0.35
+
+
+def test_cisc_density(benchmark):
+    """§5.2: i386-density code shrinks the LDLP advantage."""
+    sweep = benchmark.pedantic(
+        lambda: ablations.cisc_density_sweep(
+            densities=(1.0, 0.45), rate=5000, duration=0.1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    advantages = [
+        conv.cycles_per_message / ldlp.cycles_per_message
+        for conv, ldlp in zip(sweep.conventional, sweep.ldlp)
+    ]
+    benchmark.extra_info["alpha_advantage"] = round(advantages[0], 2)
+    benchmark.extra_info["i386_advantage"] = round(advantages[1], 2)
+    assert advantages[0] > advantages[1]

@@ -1,0 +1,25 @@
+"""Benchmark T1 — regenerate Table 1 (receive-path working sets).
+
+Times one full build-trace + working-set analysis cycle and records the
+measured per-category totals against the paper's in ``extra_info``.
+"""
+
+from repro.cache.workingset import Category
+from repro.experiments import table1
+from repro.netbsd.layers import PAPER_TABLE1_TOTAL, table1_row_sum
+
+
+def test_table1_reproduction(benchmark):
+    result = benchmark(table1.run, seed=0)
+    assert result.matches_paper()
+    rows = table1_row_sum()
+    benchmark.extra_info["code_bytes"] = result.report.total(Category.CODE).bytes
+    benchmark.extra_info["paper_code_row_sum"] = rows.code
+    benchmark.extra_info["paper_code_printed_total"] = PAPER_TABLE1_TOTAL.code
+    benchmark.extra_info["readonly_bytes"] = result.report.total(
+        Category.READONLY
+    ).bytes
+    benchmark.extra_info["mutable_bytes"] = result.report.total(
+        Category.MUTABLE
+    ).bytes
+    benchmark.extra_info["exact_per_layer_match"] = True

@@ -1,0 +1,26 @@
+"""Benchmark T3 — regenerate Table 3 (line-size sensitivity)."""
+
+from repro.experiments import table3
+from repro.netbsd.layers import PAPER_TABLE3
+
+
+def test_table3_reproduction(benchmark):
+    result = benchmark(table3.run, seed=0)
+    assert result.within_tolerance()
+    for paper_row in PAPER_TABLE3:
+        measured = result.measured_row(paper_row.line_size)
+        key = f"line{paper_row.line_size}"
+        if measured["code_bytes"] is not None:
+            benchmark.extra_info[f"{key}_code_bytes_pct"] = round(
+                measured["code_bytes"]
+            )
+            benchmark.extra_info[f"{key}_code_bytes_paper"] = (
+                paper_row.code_bytes_pct
+            )
+        if measured["code_lines"] is not None:
+            benchmark.extra_info[f"{key}_code_lines_pct"] = round(
+                measured["code_lines"]
+            )
+            benchmark.extra_info[f"{key}_code_lines_paper"] = (
+                paper_row.code_lines_pct
+            )

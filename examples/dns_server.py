@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""A DNS server on the byte-level stack — the paper's first-named
+small-message protocol.
+
+Real RFC 1035 queries (with name compression in the responses) arrive as
+Ethernet/IP/UDP frames, flow through the receive stack under either
+scheduler, and are answered by a tiny authoritative zone.  DNS messages
+are ~30-60 bytes against ~16 KB of stack + server code: the textbook
+small-message regime of Figure 4.
+
+Run:  python examples/dns_server.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ConventionalScheduler,
+    Layer,
+    LayerFootprint,
+    LDLPScheduler,
+    MachineBinding,
+    Message,
+)
+from repro.core.batching import BatchPolicy
+from repro.protocols import DnsMessage, DnsZone, udp_frame
+from repro.protocols.stack import StackStats, build_udp_receive_stack
+from repro.sim import drive
+from repro.units import format_duration
+
+ZONE_NAMES = [f"host-{i}.campus.example" for i in range(64)]
+
+
+class DnsServerLayer(Layer):
+    """The application layer: parse the query, answer from the zone.
+
+    Replaces the socket layer on top of the UDP stack, the way a
+    kernel-resident name server would sit on ``udp_input``.
+    """
+
+    def __init__(self, zone: DnsZone) -> None:
+        # named's hot path is several KB of parsing + lookup code.
+        super().__init__(
+            "dns-server",
+            LayerFootprint(code_bytes=6656, data_bytes=2048,
+                           base_cycles=600.0, per_byte_cycles=0.5),
+        )
+        self.zone = zone
+        self.responses: list[bytes] = []
+        self.bad_queries = 0
+
+    def deliver(self, message: Message) -> list[Message]:
+        try:
+            query = DnsMessage.parse(bytes(message.payload))
+        except Exception:
+            self.bad_queries += 1
+            return []
+        self.responses.append(self.zone.answer(query).serialize())
+        return []
+
+
+def build_server():
+    zone = DnsZone()
+    for index, name in enumerate(ZONE_NAMES):
+        zone.add_a(name, f"10.1.{index // 250}.{index % 250 + 1}")
+    layers, _sockets, stats = build_udp_receive_stack("10.0.0.53", ports=(53,))
+    server = DnsServerLayer(zone)
+    layers[-1] = server  # replace the socket layer with the application
+    return layers, server, stats
+
+
+def build_queries(rate: float, duration: float, seed: int):
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    time = 0.0
+    ident = 1
+    while True:
+        time += rng.exponential(1.0 / rate)
+        if time >= duration:
+            break
+        name = ZONE_NAMES[int(rng.integers(0, len(ZONE_NAMES)))]
+        if rng.random() < 0.1:
+            name = "missing.campus.example"  # some NXDOMAIN traffic
+        query = DnsMessage.query(ident & 0xFFFF, name).serialize()
+        frame = udp_frame("10.0.9.9", "10.0.0.53", 30000 + ident % 1000, 53, query)
+        arrivals.append((time, Message(payload=frame)))
+        ident += 1
+    return arrivals
+
+
+def run(scheduler_cls, rate: float, duration: float = 0.25, seed: int = 21):
+    layers, server, stats = build_server()
+    binding = MachineBinding(rng=seed)
+    kwargs = {}
+    if scheduler_cls is LDLPScheduler:
+        kwargs["batch_policy"] = BatchPolicy.from_cache(
+            binding.spec.dcache.size, typical_message_bytes=128,
+            layer_data_reserve=2048,
+        )
+    scheduler = scheduler_cls(layers, binding, **kwargs)
+    outcome = drive(scheduler, build_queries(rate, duration, seed))
+    return server, scheduler, outcome
+
+
+def main() -> None:
+    print(__doc__)
+    header = (f"{'queries/s':>10} {'sched':>13} {'mean lat':>10} {'p99 lat':>10}"
+              f" {'answered':>9} {'nxdomain':>9} {'miss/q':>7}")
+    print(header)
+    print("-" * len(header))
+    for rate in (2000, 6000, 10000, 14000):
+        for cls in (ConventionalScheduler, LDLPScheduler):
+            server, scheduler, outcome = run(cls, rate)
+            summary = outcome.latency.summary()
+            cpu = scheduler.binding.cpu
+            misses = (cpu.icache_misses + cpu.dcache_misses) / max(
+                len(server.responses), 1
+            )
+            name = "conventional" if cls is ConventionalScheduler else "ldlp"
+            print(
+                f"{rate:>10} {name:>13} {format_duration(summary.mean):>10} "
+                f"{format_duration(summary.p99):>10} "
+                f"{len(server.responses):>9} {server.zone.nxdomains:>9} "
+                f"{misses:>7.0f}"
+            )
+    print(
+        "\nEvery answered query was a real wire-format DNS message: parsed\n"
+        "with compression-aware name decoding, matched against the zone\n"
+        "(CNAME chase, NXDOMAIN), and serialized with compression.  LDLP\n"
+        "keeps the parse/lookup/respond code cache-resident across bursts."
+    )
+
+
+if __name__ == "__main__":
+    main()

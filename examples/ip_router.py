@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""An IP router's forwarding path under load.
+
+The paper's opening motivation: "If ATM switches are deployed like IP
+routers, then a cross-country connection might pass through 10 to 20
+switches" — per-hop, per-message processing time is the bottleneck.
+This example runs the forwarding fast path (validate → longest-prefix
+match → TTL decrement with RFC 1624 incremental checksum → link
+rewrite) on small packets, under both schedulers, and prints a decoded
+sample of what leaves the router.
+
+Run:  python examples/ip_router.py
+"""
+
+import numpy as np
+
+from repro.core import ConventionalScheduler, LDLPScheduler, MachineBinding, Message
+from repro.core.batching import BatchPolicy
+from repro.protocols import build_forwarding_path, decode_frames
+from repro.protocols.craft import ip_frame
+from repro.protocols.ip import PROTO_UDP
+from repro.protocols.udp import build_datagram as build_udp_datagram
+from repro.sim import drive
+from repro.units import format_duration
+
+ROUTES = [
+    ("10.1.0.0/16", "02:00:00:00:01:01"),
+    ("10.2.0.0/16", "02:00:00:00:02:01"),
+    ("192.168.0.0/16", "02:00:00:00:03:01"),
+    ("0.0.0.0/0", "02:00:00:00:ff:01"),
+]
+
+DESTINATIONS = ["10.1.4.4", "10.2.9.9", "192.168.77.1", "172.16.0.5"]
+
+
+def build_traffic(rate: float, duration: float, seed: int):
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    time = 0.0
+    while True:
+        time += rng.exponential(1.0 / rate)
+        if time >= duration:
+            break
+        dst = DESTINATIONS[int(rng.integers(0, len(DESTINATIONS)))]
+        size = int(rng.choice([32, 64, 128, 256, 552]))
+        datagram = build_udp_datagram(5000, 5001, b"\x00" * size)
+        frame = ip_frame(
+            "10.9.0.9", dst, PROTO_UDP, datagram,
+            ttl=int(rng.integers(4, 64)),
+        )
+        arrivals.append((time, Message(payload=frame)))
+    return arrivals
+
+
+def run(scheduler_cls, rate: float, duration: float = 0.25, seed: int = 31):
+    path = build_forwarding_path(routes=ROUTES)
+    binding = MachineBinding(rng=seed)
+    kwargs = {}
+    if scheduler_cls is LDLPScheduler:
+        kwargs["batch_policy"] = BatchPolicy.from_cache(
+            binding.spec.dcache.size, typical_message_bytes=256,
+            layer_data_reserve=1280,
+        )
+    scheduler = scheduler_cls(path.layers, binding, **kwargs)
+    outcome = drive(scheduler, build_traffic(rate, duration, seed))
+    return path, scheduler, outcome
+
+
+def main() -> None:
+    print(__doc__)
+    header = (f"{'pkts/sec':>9} {'sched':>13} {'mean lat':>10} {'p99 lat':>10}"
+              f" {'forwarded':>10} {'drops':>6} {'miss/pkt':>9}")
+    print(header)
+    print("-" * len(header))
+    for rate in (4000, 10000, 16000):
+        for cls in (ConventionalScheduler, LDLPScheduler):
+            path, scheduler, outcome = run(cls, rate)
+            summary = outcome.latency.summary()
+            cpu = scheduler.binding.cpu
+            misses = (cpu.icache_misses + cpu.dcache_misses) / max(
+                path.stats.forwarded, 1
+            )
+            name = "conventional" if cls is ConventionalScheduler else "ldlp"
+            print(
+                f"{rate:>9} {name:>13} {format_duration(summary.mean):>10} "
+                f"{format_duration(summary.p99):>10} "
+                f"{path.stats.forwarded:>10} {scheduler.drops:>6} "
+                f"{misses:>9.0f}"
+            )
+    path, _scheduler, _outcome = run(LDLPScheduler, 2000, duration=0.01)
+    print("\nSample of forwarded frames (note decremented TTLs and the")
+    print("per-route next-hop MACs; every header re-verifies end-to-end):\n")
+    print(decode_frames([frame for frame, _ in path.transmitted[:6]]))
+    print(
+        "\nThe forwarding path's ~11 KB of code across three layers is\n"
+        "another small-message protocol: LDLP batches bursts and keeps\n"
+        "the longest-prefix-match and rewrite code cache-resident."
+    )
+
+
+if __name__ == "__main__":
+    main()

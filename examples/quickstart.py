@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: LDLP vs conventional layer scheduling in five minutes.
+
+Builds the paper's synthetic five-layer protocol stack (6 KB of code and
+256 bytes of data per layer) on the simulated 100 MHz machine with 8 KB
+direct-mapped caches, drives it with 552-byte Poisson messages, and
+compares the two scheduling disciplines at a low and a high arrival
+rate.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.sim import compare_schedulers
+from repro.units import format_duration
+
+
+def describe(rate: float) -> None:
+    comparison = compare_schedulers(
+        arrival_rate=rate, duration=0.25, seed=7,
+        schedulers=("conventional", "ilp", "ldlp"),
+    )
+    print(f"--- arrival rate {rate:.0f} msgs/sec " + "-" * 30)
+    for name in ("conventional", "ilp", "ldlp"):
+        result = comparison[name]
+        print(
+            f"{name:>12}: latency {format_duration(result.latency.mean):>9}"
+            f"  misses/msg {result.misses.total:7.0f}"
+            f"  (I={result.misses.instruction:.0f} D={result.misses.data:.0f})"
+            f"  cycles/msg {result.cycles_per_message:7.0f}"
+            f"  drops {result.dropped}"
+        )
+    print(f"{'':>12}  LDLP speedup over conventional: "
+          f"{comparison.speedup():.2f}x\n")
+
+
+def main() -> None:
+    print(__doc__)
+    # Light load: every scheduler processes messages singly; LDLP's only
+    # difference is the ~40-instruction queue hop per layer.
+    describe(1500)
+    # Heavy load: the conventional stack thrashes the instruction cache
+    # on every message; LDLP batches and keeps each layer cache-resident
+    # across the batch.
+    describe(9000)
+    print(
+        "Under heavy load the conventional stack spends most of its time\n"
+        "refetching layer code (~960 instruction misses x 20 cycles per\n"
+        "message); LDLP amortizes those fetches over a batch that fits the\n"
+        "data cache, which is the paper's core result (Figures 5 and 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

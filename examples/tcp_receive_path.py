@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Working-set study of the TCP receive & acknowledge path (Section 2).
+
+Rebuilds the paper's measurement half: generate the three-phase memory
+trace of the modelled NetBSD receive path, then run the full analysis
+pipeline — per-layer working sets (Table 1), line-size sensitivity
+(Table 3), per-phase totals and the active-code map (Figure 1), and the
+procedure call graph the tracing apparatus produced.
+
+Run:  python examples/tcp_receive_path.py
+"""
+
+from repro.cache.workingset import Category
+from repro.experiments import figure1, table1, table3
+from repro.netbsd import ReceivePathModel
+from repro.trace.callgraph import build_call_graph
+
+
+def main() -> None:
+    print(__doc__)
+
+    print(table1.run(seed=0).render())
+    print()
+    print(table3.run(seed=0).render())
+    print()
+
+    result = figure1.run(seed=0)
+    print(result.phase_table())
+    print()
+    print(result.code_map())
+    print()
+
+    # The call graph of the device-interrupt phase, as the paper's
+    # tracing tools could print it.
+    model = ReceivePathModel(seed=0)
+    trace = model.build_trace()
+    graph = build_call_graph(trace)
+    print("Call tree (roots are trace entry points):")
+    print(graph.format())
+    print()
+
+    # The paper's headline arithmetic: the working set vs the cache.
+    report = model.analyze(trace).report(32)
+    total = report.grand_total_bytes()
+    code = report.total(Category.CODE).bytes
+    print(
+        f"Working set: {total} bytes total ({code} code) against an 8 KB\n"
+        f"primary cache — {total / 8192:.1f}x the cache.  The 552-byte\n"
+        f"message is fetched twice and stored twice (~2.2 KB of traffic)\n"
+        f"while ~{(code + report.total(Category.READONLY).bytes) // 1024} KB "
+        f"of code and read-only data stream through the CPU:\n"
+        f"message contents are not the bottleneck for small messages."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""LDLP for a small-transfer web server (the paper's closing remark).
+
+"LDLP may improve performance for Internet WWW servers, where the data
+transfer unit is 512 bytes or less in most circumstances."
+
+This example runs the *byte-level* stack for real: many short TCP
+connections each deliver a small HTTP-ish request to the server socket,
+with the full path — Ethernet framing, IP header checksum, TCP
+checksum + PCB state machine + ACK generation, socket-buffer append —
+executing on every frame, while the machine binding charges cache costs
+for the Table-1-derived layer footprints.  Conventional and LDLP
+schedulers process identical frame sequences.
+
+Run:  python examples/web_server.py
+"""
+
+import numpy as np
+
+from repro.core import ConventionalScheduler, LDLPScheduler, MachineBinding, Message
+from repro.protocols import TcpSender, build_tcp_receive_stack
+from repro.sim import drive
+from repro.units import format_duration
+
+REQUEST = (
+    b"GET /index.html HTTP/1.0\r\n"
+    b"Host: www.example.com\r\n"
+    b"User-Agent: repro/1.0\r\n\r\n"
+)
+
+
+def run(scheduler_cls, rate: float, duration: float = 0.25, seed: int = 3):
+    stack = build_tcp_receive_stack("10.0.0.1", 80)
+    # A real server drains its socket buffer; raise the high-water mark
+    # so buffer flow control doesn't cap the measured run instead.
+    stack.socket.receive_buffer.hiwat = 16 * 1024 * 1024
+    binding = MachineBinding(rng=seed)
+    scheduler = scheduler_cls(stack.layers, binding)
+    rng = np.random.default_rng(seed)
+
+    # Phase 1 (setup, not measured): establish N persistent connections.
+    senders = []
+    for index in range(32):
+        sender = TcpSender(
+            src=f"10.0.{index // 200}.{index % 200 + 2}",
+            dst="10.0.0.1",
+            src_port=20_000 + index,
+            dst_port=80,
+        )
+        scheduler.run_to_completion([Message(payload=sender.syn())])
+        synack = stack.transmitted[-1]
+        scheduler.run_to_completion(
+            [Message(payload=sender.complete_handshake(synack))]
+        )
+        senders.append(sender)
+    binding.cpu.reset()
+
+    # Phase 2 (measured): requests arrive Poisson across connections.
+    arrivals = []
+    time = 0.0
+    while True:
+        time += rng.exponential(1.0 / rate)
+        if time >= duration:
+            break
+        sender = senders[int(rng.integers(0, len(senders)))]
+        frame = sender.data(REQUEST)
+        arrivals.append((time, Message(payload=frame)))
+    outcome = drive(scheduler, arrivals)
+    return stack, scheduler, outcome, len(arrivals)
+
+
+def main() -> None:
+    print(__doc__)
+    header = (f"{'req/sec':>8} {'sched':>13} {'mean lat':>10} {'p99 lat':>10}"
+              f" {'delivered':>10} {'acks':>6} {'miss/msg':>9}")
+    print(header)
+    print("-" * len(header))
+    for rate in (2000, 6000, 10000):
+        for cls in (ConventionalScheduler, LDLPScheduler):
+            stack, scheduler, outcome, offered = run(cls, rate)
+            summary = outcome.latency.summary()
+            cpu = scheduler.binding.cpu
+            misses = (cpu.icache_misses + cpu.dcache_misses) / max(
+                outcome.completed, 1
+            )
+            name = "conventional" if cls is ConventionalScheduler else "ldlp"
+            acks = len(stack.transmitted) - 64  # minus handshake traffic
+            print(
+                f"{rate:>8} {name:>13} {format_duration(summary.mean):>10} "
+                f"{format_duration(summary.p99):>10} "
+                f"{stack.stats.delivered:>10} {acks:>6} {misses:>9.0f}"
+            )
+    print(
+        "\nEvery request was checksummed, demultiplexed through the PCB\n"
+        "cache, appended to the server's socket buffer, and ACKed (every\n"
+        "second segment per connection).  The delivered byte streams are\n"
+        "identical under both schedulers; only the cache behaviour differs."
+    )
+
+
+if __name__ == "__main__":
+    main()

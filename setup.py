@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs fail.  With this shim,
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) installs the package offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — reproduction of Blackwell, "Speeding up Protocols for Small
+Messages" (SIGCOMM 1996).
+
+The package implements locality-driven layer processing (LDLP) — the
+paper's contribution — together with every substrate the paper's
+evaluation depends on: a cache simulator, memory-trace tooling,
+working-set analysis, a byte-level protocol stack with mbuf buffers, a
+discrete-event load simulator, and synthetic traffic sources.
+
+Quickstart::
+
+    from repro import ldlp_vs_conventional
+    result = ldlp_vs_conventional(arrival_rate=8000.0, seed=1)
+    print(result.summary())
+
+See ``examples/`` for runnable scenarios and ``repro.experiments`` for
+the per-table/per-figure reproduction harnesses.
+"""
+
+from .errors import ReproError
+from .version import __version__
+
+__all__ = ["ReproError", "__version__", "ldlp_vs_conventional"]
+
+
+def ldlp_vs_conventional(*args, **kwargs):
+    """Compare LDLP against conventional scheduling on the paper's
+    synthetic five-layer stack.  Thin convenience wrapper; see
+    :func:`repro.sim.runner.compare_schedulers` for parameters."""
+    from .sim.runner import compare_schedulers
+
+    return compare_schedulers(*args, **kwargs)

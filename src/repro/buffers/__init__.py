@@ -1,0 +1,16 @@
+"""mbuf-style buffer management (4.2BSD scheme; Section 3.2 requirement)."""
+
+from ..errors import BufferError_ as MbufError
+from .mbuf import CLUSTER_SIZE, MBUF_SIZE, MLEN, Mbuf, MbufChain
+from .pool import MbufPool, PoolStats
+
+__all__ = [
+    "CLUSTER_SIZE",
+    "MBUF_SIZE",
+    "MLEN",
+    "Mbuf",
+    "MbufChain",
+    "MbufError",
+    "MbufPool",
+    "PoolStats",
+]

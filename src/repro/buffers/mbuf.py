@@ -1,0 +1,305 @@
+"""mbuf-style message buffers (the 4.2BSD scheme the paper relies on).
+
+LDLP "requires a buffer management scheme where lower layers hand off
+their buffers to the higher layers, and don't destroy them after calling
+the upper layers.  The 4.4BSD mbuf system works well." (Section 3.2)
+
+An :class:`Mbuf` is a fixed-size buffer holding a window of bytes; an
+:class:`MbufChain` is a linked sequence of mbufs representing one
+message.  The canonical operations — prepending and stripping headers,
+appending, trimming (``m_adj``), splitting, and linearizing — never copy
+payload bytes between layers except where a real stack would
+(``pullup`` and explicit copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import BufferError_ as MbufError
+
+#: Standard mbuf size in 4.4BSD.
+MBUF_SIZE = 128
+
+#: Bytes usable for data in a plain mbuf (after the header in real BSD;
+#: we keep the constant for realistic fragmentation behaviour).
+MLEN = 108
+
+#: Size of an external cluster.
+CLUSTER_SIZE = 2048
+
+
+@dataclass
+class Mbuf:
+    """One buffer segment: a byte array plus a valid data window.
+
+    Attributes
+    ----------
+    storage:
+        The backing bytes (mutable).
+    offset:
+        Index of the first valid byte within ``storage``.
+    length:
+        Number of valid bytes.
+    cluster:
+        True when backed by an external cluster (affects capacity only).
+    """
+
+    storage: bytearray
+    offset: int = 0
+    length: int = 0
+    cluster: bool = False
+
+    @classmethod
+    def empty(cls, leading_space: int = 0, cluster: bool = False) -> "Mbuf":
+        """Allocate an empty mbuf, optionally reserving header space."""
+        capacity = CLUSTER_SIZE if cluster else MLEN
+        if not 0 <= leading_space <= capacity:
+            raise MbufError(
+                f"leading space {leading_space} outside [0, {capacity}]"
+            )
+        return cls(bytearray(capacity), offset=leading_space, cluster=cluster)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, leading_space: int = 0) -> "Mbuf":
+        """Allocate an mbuf (cluster if needed) holding ``data``."""
+        cluster = leading_space + len(data) > MLEN
+        capacity = CLUSTER_SIZE if cluster else MLEN
+        if leading_space + len(data) > capacity:
+            raise MbufError(
+                f"{len(data)} bytes + {leading_space} leading space exceeds "
+                f"cluster capacity {capacity}"
+            )
+        mbuf = cls(bytearray(capacity), offset=leading_space, cluster=cluster)
+        mbuf.storage[leading_space : leading_space + len(data)] = data
+        mbuf.length = len(data)
+        return mbuf
+
+    @property
+    def capacity(self) -> int:
+        return len(self.storage)
+
+    @property
+    def leading_space(self) -> int:
+        """Free bytes before the data window (room to prepend headers)."""
+        return self.offset
+
+    @property
+    def trailing_space(self) -> int:
+        """Free bytes after the data window (room to append)."""
+        return self.capacity - self.offset - self.length
+
+    def data(self) -> memoryview:
+        """A zero-copy view of the valid bytes."""
+        return memoryview(self.storage)[self.offset : self.offset + self.length]
+
+    def prepend(self, header: bytes) -> None:
+        """Prepend bytes into the leading space (no copy of existing data)."""
+        if len(header) > self.leading_space:
+            raise MbufError(
+                f"no leading space for {len(header)}-byte header "
+                f"(have {self.leading_space})"
+            )
+        self.offset -= len(header)
+        self.storage[self.offset : self.offset + len(header)] = header
+        self.length += len(header)
+
+    def strip(self, count: int) -> bytes:
+        """Remove and return the first ``count`` bytes (window shrink)."""
+        if count > self.length:
+            raise MbufError(f"cannot strip {count} of {self.length} bytes")
+        taken = bytes(self.storage[self.offset : self.offset + count])
+        self.offset += count
+        self.length -= count
+        return taken
+
+    def append(self, data: bytes) -> None:
+        """Append bytes into the trailing space."""
+        if len(data) > self.trailing_space:
+            raise MbufError(
+                f"no trailing space for {len(data)} bytes (have "
+                f"{self.trailing_space})"
+            )
+        end = self.offset + self.length
+        self.storage[end : end + len(data)] = data
+        self.length += len(data)
+
+    def trim_tail(self, count: int) -> None:
+        """Drop the last ``count`` bytes."""
+        if count > self.length:
+            raise MbufError(f"cannot trim {count} of {self.length} bytes")
+        self.length -= count
+
+
+class MbufChain:
+    """A message: a sequence of mbufs traversed in order.
+
+    The chain owns its mbufs; layers pass the chain itself up and down
+    the stack (LDLP's hand-off requirement) rather than copying.
+    """
+
+    def __init__(self, mbufs: list[Mbuf] | None = None) -> None:
+        self.mbufs: list[Mbuf] = mbufs or []
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, leading_space: int = 64, segment_size: int | None = None
+    ) -> "MbufChain":
+        """Build a chain holding ``data``.
+
+        ``segment_size`` forces fragmentation into multiple mbufs, as a
+        driver copying from a DMA ring would produce; by default the
+        data lands in a single (possibly cluster) mbuf.
+        """
+        chain = cls()
+        if segment_size is not None and segment_size <= 0:
+            raise MbufError(f"segment size must be positive, got {segment_size}")
+        if not data:
+            chain.mbufs.append(Mbuf.empty(leading_space))
+            return chain
+        step = segment_size if segment_size is not None else len(data)
+        for start in range(0, len(data), step):
+            piece = data[start : start + step]
+            space = leading_space if start == 0 else 0
+            chain.mbufs.append(Mbuf.from_bytes(piece, leading_space=space))
+        return chain
+
+    # ------------------------------------------------------------------
+    # Inspection
+
+    def __len__(self) -> int:
+        return sum(mbuf.length for mbuf in self.mbufs)
+
+    def __iter__(self) -> Iterator[Mbuf]:
+        return iter(self.mbufs)
+
+    def __bytes__(self) -> bytes:
+        return b"".join(bytes(mbuf.data()) for mbuf in self.mbufs)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.mbufs)
+
+    def peek(self, count: int, offset: int = 0) -> bytes:
+        """Read ``count`` bytes at ``offset`` without modifying the chain.
+
+        Crosses mbuf boundaries; this is the "peeking inside buffers"
+        cost the paper's Section 5.1 complains about.
+        """
+        if offset < 0 or count < 0:
+            raise MbufError("peek offset and count must be non-negative")
+        if offset + count > len(self):
+            raise MbufError(
+                f"peek of {count} bytes at {offset} beyond chain length {len(self)}"
+            )
+        out = bytearray()
+        remaining_offset = offset
+        need = count
+        for mbuf in self.mbufs:
+            if need == 0:
+                break
+            if remaining_offset >= mbuf.length:
+                remaining_offset -= mbuf.length
+                continue
+            view = mbuf.data()[remaining_offset:]
+            take = min(need, len(view))
+            out += view[:take]
+            need -= take
+            remaining_offset = 0
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Header operations
+
+    def prepend(self, header: bytes) -> None:
+        """Prepend a header, reusing leading space when available."""
+        if self.mbufs and self.mbufs[0].leading_space >= len(header):
+            self.mbufs[0].prepend(header)
+        else:
+            self.mbufs.insert(0, Mbuf.from_bytes(header, leading_space=0))
+
+    def strip(self, count: int) -> bytes:
+        """Remove and return the first ``count`` bytes of the chain."""
+        if count > len(self):
+            raise MbufError(f"cannot strip {count} of {len(self)} bytes")
+        out = bytearray()
+        need = count
+        while need > 0:
+            head = self.mbufs[0]
+            take = min(need, head.length)
+            out += head.strip(take)
+            need -= take
+            if head.length == 0 and len(self.mbufs) > 1:
+                self.mbufs.pop(0)
+        return bytes(out)
+
+    def pullup(self, count: int) -> None:
+        """Ensure the first ``count`` bytes are contiguous in one mbuf.
+
+        Copies only when the bytes are actually split (``m_pullup``).
+        """
+        if count > len(self):
+            raise MbufError(f"cannot pull up {count} of {len(self)} bytes")
+        if not self.mbufs or self.mbufs[0].length >= count:
+            return
+        gathered = self.strip(count)
+        self.mbufs.insert(0, Mbuf.from_bytes(gathered, leading_space=0))
+
+    # ------------------------------------------------------------------
+    # Whole-message operations
+
+    def append_chain(self, other: "MbufChain") -> None:
+        """Concatenate ``other`` onto this chain without copying."""
+        self.mbufs.extend(other.mbufs)
+        other.mbufs = []
+
+    def adj(self, count: int) -> None:
+        """``m_adj``: trim ``count`` bytes from the front (positive) or
+        back (negative) of the message."""
+        if count >= 0:
+            self.strip(count)
+            return
+        need = -count
+        if need > len(self):
+            raise MbufError(f"cannot trim {need} of {len(self)} bytes")
+        for mbuf in reversed(self.mbufs):
+            take = min(need, mbuf.length)
+            mbuf.trim_tail(take)
+            need -= take
+            if need == 0:
+                break
+        self.mbufs = [m for m in self.mbufs if m.length > 0] or self.mbufs[:1]
+
+    def split(self, count: int) -> "MbufChain":
+        """Split after ``count`` bytes; returns the tail as a new chain."""
+        if count > len(self):
+            raise MbufError(f"cannot split at {count} in {len(self)}-byte chain")
+        tail = MbufChain()
+        consumed = 0
+        for index, mbuf in enumerate(self.mbufs):
+            if consumed + mbuf.length <= count:
+                consumed += mbuf.length
+                continue
+            within = count - consumed
+            if within > 0:
+                moved = bytes(mbuf.data()[within:])
+                mbuf.trim_tail(len(moved))
+                tail.mbufs.append(Mbuf.from_bytes(moved, leading_space=0))
+                tail.mbufs.extend(self.mbufs[index + 1 :])
+                del self.mbufs[index + 1 :]
+            else:
+                tail.mbufs.extend(self.mbufs[index:])
+                del self.mbufs[index:]
+            break
+        if not self.mbufs:
+            self.mbufs.append(Mbuf.empty())
+        return tail
+
+    def compact(self) -> None:
+        """``sbcompress``-style compaction into as few mbufs as possible."""
+        data = bytes(self)
+        self.mbufs = MbufChain.from_bytes(data, leading_space=0).mbufs

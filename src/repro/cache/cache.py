@@ -1,0 +1,239 @@
+"""Cache models: direct-mapped and set-associative with LRU replacement.
+
+The paper's synthetic environment (Section 4) uses 8 KB direct-mapped
+primary instruction and data caches with 32-byte lines and a 20-cycle
+read-miss stall.  :class:`DirectMappedCache` models exactly that, with a
+vectorized fast path for the contiguous multi-line accesses that dominate
+protocol processing (sweeping a layer's code, reading a message body).
+
+:class:`SetAssociativeCache` generalizes to N-way LRU for the cache
+organization studies in Section 5.3 and for tests; it is scalar and exact
+but not used in the hot simulation loops.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .line import check_power_of_two, lines_touched
+from .stats import CacheStats
+
+
+class Cache(ABC):
+    """Common interface for cache models.
+
+    All accesses are counted in the attached :class:`CacheStats`; access
+    methods return the number of *misses* they caused so callers can
+    charge stall cycles without re-reading the counters.
+    """
+
+    def __init__(self, size: int, line_size: int) -> None:
+        check_power_of_two(size, "cache size")
+        check_power_of_two(line_size, "cache line size")
+        if line_size > size:
+            raise ConfigurationError(
+                f"line size {line_size} exceeds cache size {size}"
+            )
+        self.size = size
+        self.line_size = line_size
+        self.num_lines = size // line_size
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def access_line(self, line: int) -> bool:
+        """Access one line by line number; return True iff it missed."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Invalidate all lines (does not reset statistics)."""
+
+    @abstractmethod
+    def contains_line(self, line: int) -> bool:
+        """Return True iff ``line`` is currently resident (no side effects)."""
+
+    def access(self, addr: int, size: int = 1) -> int:
+        """Access ``size`` bytes starting at byte address ``addr``.
+
+        Returns the number of line misses incurred.
+        """
+        misses = 0
+        for line in lines_touched(addr, size, self.line_size):
+            if self.access_line(line):
+                misses += 1
+        return misses
+
+    def access_span(self, addr: int, size: int) -> int:
+        """Access a contiguous byte span; alias of :meth:`access`.
+
+        Subclasses may override with a vectorized implementation.
+        """
+        return self.access(addr, size)
+
+    def contains(self, addr: int) -> bool:
+        """Return True iff the line holding byte ``addr`` is resident."""
+        return self.contains_line(addr // self.line_size)
+
+
+class DirectMappedCache(Cache):
+    """A direct-mapped cache backed by a numpy tag array.
+
+    Each line number maps to set ``line % num_lines``; the set holds one
+    tag.  ``-1`` marks an invalid (empty) slot, so callers must use
+    non-negative line numbers (i.e. non-negative addresses), which the
+    memory layout code guarantees.
+    """
+
+    def __init__(self, size: int, line_size: int = 32) -> None:
+        super().__init__(size, line_size)
+        self._tags = np.full(self.num_lines, -1, dtype=np.int64)
+
+    def access_line(self, line: int) -> bool:
+        if line < 0:
+            raise ConfigurationError(f"line number must be non-negative, got {line}")
+        index = line % self.num_lines
+        if self._tags[index] == line:
+            self.stats.hits += 1
+            return False
+        if self._tags[index] != -1:
+            self.stats.evictions += 1
+        self._tags[index] = line
+        self.stats.misses += 1
+        return True
+
+    def contains_line(self, line: int) -> bool:
+        return bool(self._tags[line % self.num_lines] == line)
+
+    def flush(self) -> None:
+        self._tags.fill(-1)
+
+    def access_span(self, addr: int, size: int) -> int:
+        """Vectorized access to a contiguous byte span.
+
+        Contiguous lines map to distinct sets as long as the span covers
+        at most ``num_lines`` lines, so a single vector compare-and-fill
+        is exactly equivalent to the sequential scalar loop.  Longer
+        spans (which self-evict) fall back to the scalar path.
+        """
+        if size < 0:
+            raise ConfigurationError(f"access size must be non-negative, got {size}")
+        if size == 0:
+            return 0
+        if addr < 0:
+            raise ConfigurationError(f"address must be non-negative, got {addr}")
+        first = addr // self.line_size
+        last = (addr + size - 1) // self.line_size
+        count = last - first + 1
+        if count > self.num_lines:
+            return self.access(addr, size)
+        lines = np.arange(first, last + 1, dtype=np.int64)
+        indices = lines % self.num_lines
+        resident = self._tags[indices]
+        miss_mask = resident != lines
+        misses = int(miss_mask.sum())
+        if misses:
+            evicted = miss_mask & (resident != -1)
+            self.stats.evictions += int(evicted.sum())
+            self._tags[indices[miss_mask]] = lines[miss_mask]
+        self.stats.misses += misses
+        self.stats.hits += count - misses
+        return misses
+
+    def access_line_array(self, lines: np.ndarray) -> int:
+        """Vectorized access to an array of *distinct* line numbers.
+
+        The caller must guarantee the lines map to distinct sets (e.g.
+        consecutive lines of a region smaller than the cache).  Used by
+        the executor for strided but regular reference patterns.
+        """
+        return int(self.access_line_array_report(lines).size)
+
+    def access_line_array_report(self, lines: np.ndarray) -> np.ndarray:
+        """Like :meth:`access_line_array` but returns the *missed* lines.
+
+        Multi-level hierarchies use the returned array to probe the
+        next cache level.
+        """
+        if lines.size == 0:
+            return lines
+        indices = lines % self.num_lines
+        resident = self._tags[indices]
+        miss_mask = resident != lines
+        misses = int(miss_mask.sum())
+        if misses:
+            evicted = miss_mask & (resident != -1)
+            self.stats.evictions += int(evicted.sum())
+            self._tags[indices[miss_mask]] = lines[miss_mask]
+        self.stats.misses += misses
+        self.stats.hits += int(lines.size) - misses
+        return lines[miss_mask]
+
+    def access_span_report(self, addr: int, size: int) -> np.ndarray:
+        """Access a contiguous span; return the missed line numbers."""
+        if size < 0:
+            raise ConfigurationError(f"access size must be non-negative, got {size}")
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        if addr < 0:
+            raise ConfigurationError(f"address must be non-negative, got {addr}")
+        first = addr // self.line_size
+        last = (addr + size - 1) // self.line_size
+        if last - first + 1 <= self.num_lines:
+            return self.access_line_array_report(
+                np.arange(first, last + 1, dtype=np.int64)
+            )
+        missed = [line for line in range(first, last + 1) if self.access_line(line)]
+        return np.asarray(missed, dtype=np.int64)
+
+    def resident_lines(self) -> set[int]:
+        """Return the set of line numbers currently resident (for tests)."""
+        return {int(tag) for tag in self._tags if tag != -1}
+
+
+class SetAssociativeCache(Cache):
+    """An N-way set-associative cache with true-LRU replacement.
+
+    ``ways=1`` behaves identically to :class:`DirectMappedCache` (verified
+    by tests); ``ways == num_lines`` is fully associative.
+    """
+
+    def __init__(self, size: int, line_size: int = 32, ways: int = 2) -> None:
+        super().__init__(size, line_size)
+        check_power_of_two(ways, "associativity")
+        if ways > self.num_lines:
+            raise ConfigurationError(
+                f"{ways}-way associativity exceeds {self.num_lines} lines"
+            )
+        self.ways = ways
+        self.num_sets = self.num_lines // ways
+        # Each set is an LRU-ordered list of tags, most recent last.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+
+    def access_line(self, line: int) -> bool:
+        if line < 0:
+            raise ConfigurationError(f"line number must be non-negative, got {line}")
+        lru = self._sets[line % self.num_sets]
+        if line in lru:
+            lru.remove(line)
+            lru.append(line)
+            self.stats.hits += 1
+            return False
+        if len(lru) >= self.ways:
+            lru.pop(0)
+            self.stats.evictions += 1
+        lru.append(line)
+        self.stats.misses += 1
+        return True
+
+    def contains_line(self, line: int) -> bool:
+        return line in self._sets[line % self.num_sets]
+
+    def flush(self) -> None:
+        for lru in self._sets:
+            lru.clear()
+
+    def resident_lines(self) -> set[int]:
+        """Return the set of line numbers currently resident (for tests)."""
+        return {line for lru in self._sets for line in lru}

@@ -1,0 +1,65 @@
+"""Address / cache-line arithmetic.
+
+A *cache line* is the unit in which memory moves between the CPU and the
+rest of the memory system.  The paper's measurements (Tables 1 and 3) are
+all expressed in cache lines: "a reference to any element in the cache
+line makes the whole cache line part of the working set".
+
+These helpers are deliberately tiny, pure functions so both the cache
+simulator and the working-set analyzer share exactly one definition of
+line mapping.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+def check_power_of_two(value: int, what: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is a power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ConfigurationError(f"{what} must be a positive power of two, got {value}")
+
+
+def line_of(addr: int, line_size: int) -> int:
+    """Return the line number containing byte address ``addr``.
+
+    >>> line_of(0, 32), line_of(31, 32), line_of(32, 32)
+    (0, 0, 1)
+    """
+    return addr // line_size
+
+
+def line_base(addr: int, line_size: int) -> int:
+    """Return the base byte address of the line containing ``addr``."""
+    return (addr // line_size) * line_size
+
+
+def lines_touched(addr: int, size: int, line_size: int) -> range:
+    """Return the range of line numbers touched by a ``size``-byte access.
+
+    A zero-sized access touches no lines.
+
+    >>> list(lines_touched(30, 4, 32))
+    [0, 1]
+    >>> list(lines_touched(0, 0, 32))
+    []
+    """
+    if size < 0:
+        raise ConfigurationError(f"access size must be non-negative, got {size}")
+    if size == 0:
+        return range(0)
+    first = addr // line_size
+    last = (addr + size - 1) // line_size
+    return range(first, last + 1)
+
+
+def line_count(size: int, line_size: int) -> int:
+    """Number of lines needed to hold ``size`` contiguous, aligned bytes.
+
+    >>> line_count(552, 32)
+    18
+    """
+    if size < 0:
+        raise ConfigurationError(f"size must be non-negative, got {size}")
+    return -(-size // line_size)

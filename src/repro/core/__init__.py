@@ -1,0 +1,65 @@
+"""LDLP — locality-driven layer processing (the paper's contribution).
+
+* :class:`Layer`, :class:`Message`, :class:`LayerFootprint` — the layer
+  vocabulary;
+* :class:`ConventionalScheduler`, :class:`ILPScheduler`,
+  :class:`LDLPScheduler` — the three scheduling disciplines compared in
+  the paper;
+* :class:`BatchPolicy` — "as many messages as fit in the data cache";
+* :mod:`repro.core.blocking` — off-line blocked processing and
+  blocking-factor estimation;
+* :class:`MachineBinding` — attaches a stack to the simulated machine.
+"""
+
+from .batching import BatchPolicy
+from .binding import BUFFER_KEY, MachineBinding
+from .blocking import (
+    BlockingEstimate,
+    blocked_schedule,
+    conventional_schedule,
+    estimate_block_cost,
+    estimate_blocking_factor,
+    group_layers_for_cache,
+    process_blocked,
+)
+from .layer import (
+    CountingLayer,
+    Layer,
+    LayerFootprint,
+    Message,
+    PassthroughLayer,
+    SinkLayer,
+)
+from .scheduler import (
+    Completion,
+    ConventionalScheduler,
+    GroupedLDLPScheduler,
+    ILPScheduler,
+    LDLPScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "BUFFER_KEY",
+    "BatchPolicy",
+    "BlockingEstimate",
+    "Completion",
+    "ConventionalScheduler",
+    "GroupedLDLPScheduler",
+    "CountingLayer",
+    "ILPScheduler",
+    "LDLPScheduler",
+    "Layer",
+    "LayerFootprint",
+    "MachineBinding",
+    "Message",
+    "PassthroughLayer",
+    "Scheduler",
+    "SinkLayer",
+    "blocked_schedule",
+    "conventional_schedule",
+    "estimate_block_cost",
+    "estimate_blocking_factor",
+    "group_layers_for_cache",
+    "process_blocked",
+]

@@ -1,0 +1,141 @@
+"""Binding a stack of layers to the simulated machine.
+
+A :class:`MachineBinding` owns the CPU, cache state, memory layout, and
+message-buffer ring for one simulation run, and charges the cost of each
+(layer, message) invocation.  Schedulers stay machine-agnostic: they
+call :meth:`MachineBinding.charge` if a binding is present and otherwise
+run purely functionally (fast unit tests, correctness checks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.hierarchy import MachineSpec
+from ..errors import ConfigurationError
+from ..machine.cpu import CPU
+from ..machine.executor import (
+    BufferPool,
+    FootprintExecutor,
+    MessageBuffer,
+    PlacedLayer,
+)
+from ..machine.layout import MemoryLayout
+from .layer import Layer, Message
+
+#: meta key under which a message's placed buffer is stored.
+BUFFER_KEY = "machine.buffer"
+
+
+class MachineBinding:
+    """Machine state + cost charging for one run of a protocol stack.
+
+    Parameters
+    ----------
+    spec:
+        The machine description (clock, caches, miss penalty).
+    rng:
+        Drives random placement; seed it for reproducible layouts.
+    random_placement:
+        Paper methodology: random code placement (averaged over seeds).
+        Sequential placement gives the conflict-free best case.
+    pool_buffers / buffer_size:
+        Geometry of the receive-buffer ring messages are placed in.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec | None = None,
+        rng: np.random.Generator | int | None = None,
+        random_placement: bool = True,
+        pool_buffers: int = 32,
+        buffer_size: int = 2048,
+    ) -> None:
+        self.spec = spec or MachineSpec()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        self.rng = rng or np.random.default_rng()
+        self.random_placement = random_placement
+        self.pool_buffers = pool_buffers
+        self.buffer_size = buffer_size
+        self.cpu = CPU(self.spec)
+        self.executor = FootprintExecutor(self.cpu)
+        self._layout = MemoryLayout(
+            line_size=self.spec.icache.line_size, rng=self.rng
+        )
+        self._placed: dict[str, PlacedLayer] = {}
+        self._pool: BufferPool | None = None
+
+    def bind(self, layers: list[Layer]) -> None:
+        """Place every layer's code/data and build the buffer ring."""
+        if self._placed:
+            raise ConfigurationError("binding is already bound to a stack")
+        if not layers:
+            raise ConfigurationError("cannot bind an empty stack")
+        for layer in layers:
+            if layer.name in self._placed:
+                raise ConfigurationError(f"duplicate layer name {layer.name!r}")
+            self._placed[layer.name] = PlacedLayer(
+                layer.name,
+                layer.footprint.to_profile(),
+                self._layout,
+                random_placement=self.random_placement,
+            )
+        self._pool = BufferPool(
+            self._layout,
+            self.pool_buffers,
+            self.buffer_size,
+            random_placement=self.random_placement,
+        )
+
+    @property
+    def bound(self) -> bool:
+        return bool(self._placed)
+
+    def placed_layer(self, name: str) -> PlacedLayer:
+        try:
+            return self._placed[name]
+        except KeyError:
+            raise ConfigurationError(f"layer {name!r} is not bound") from None
+
+    def buffer_of(self, message: Message) -> MessageBuffer:
+        """The placed buffer holding a message's bytes (assigned lazily)."""
+        buffer = message.meta.get(BUFFER_KEY)
+        if buffer is None:
+            if self._pool is None:
+                raise ConfigurationError("binding not bound; call bind() first")
+            buffer = self._pool.acquire()
+            message.meta[BUFFER_KEY] = buffer
+        return buffer
+
+    def charge(
+        self,
+        layer: Layer,
+        message: Message,
+        include_message_data: bool = True,
+        queue_overhead: bool = False,
+    ) -> float:
+        """Charge one (layer, message) invocation; return its cycle cost.
+
+        ``include_message_data=False`` models integrated layer
+        processing: the message bytes were already swept by an earlier
+        layer's integrated loop, so this invocation touches only code
+        and layer data and skips the per-byte data-loop cycles.
+        """
+        placed = self.placed_layer(layer.name)
+        buffer = self.buffer_of(message)
+        start = self.cpu.cycles
+        self.cpu.fetch_code_lines(placed.code_lines)
+        if placed.data_lines.size:
+            self.cpu.read_data_lines(placed.data_lines)
+        if include_message_data:
+            size = min(message.size, buffer.capacity)
+            lines = buffer.lines_for(size)
+            if lines.size:
+                self.cpu.read_data_lines(lines)
+            self.cpu.execute(placed.profile.compute_cycles(message.size))
+        else:
+            self.cpu.execute(placed.profile.base_cycles)
+        if queue_overhead:
+            self.cpu.execute(FootprintExecutor.QUEUE_INSTRUCTIONS)
+        return self.cpu.cycles - start

@@ -1,0 +1,159 @@
+"""Layers, messages, and footprints — the vocabulary of LDLP.
+
+A protocol stack is a chain of :class:`Layer` objects.  Each layer does
+two independent things:
+
+* *functional* work: :meth:`Layer.deliver` transforms a message (parse a
+  header, verify a checksum, append to a socket buffer) and returns the
+  messages to hand to the next layer up (zero, one, or several — e.g. a
+  reassembled datagram or an ACK to emit);
+* *memory-system* work: the layer's :class:`LayerFootprint` describes
+  the code and data it touches, which the machine model charges against
+  the simulated caches.
+
+Keeping these separate is exactly what makes LDLP applicable "to
+existing protocol implementations by changing only the interface to the
+layers" (Section 5): schedulers reorder *invocations* without knowing
+anything about layer internals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SchedulerError
+from ..machine.executor import ExecutionProfile
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One message moving through a stack.
+
+    Attributes
+    ----------
+    payload:
+        The message contents.  For the byte-level stack this is an
+        :class:`~repro.buffers.MbufChain`; for purely synthetic
+        workloads it may be ``None`` with only ``size`` meaningful.
+    size:
+        Length in bytes (kept explicit so synthetic messages need no
+        actual bytes).
+    arrival_time:
+        Simulated arrival time in seconds (set by the traffic source).
+    meta:
+        Layer-to-layer annotations (e.g. parsed headers), replacing the
+        fields a kernel would stash in the mbuf packet header.
+    """
+
+    payload: Any = None
+    size: int = 0
+    arrival_time: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise SchedulerError(f"message size must be non-negative, got {self.size}")
+        if self.payload is not None and self.size == 0:
+            try:
+                self.size = len(self.payload)
+            except TypeError:
+                pass
+
+
+@dataclass(frozen=True)
+class LayerFootprint:
+    """Memory/compute footprint of one layer (see Section 4's benchmark).
+
+    This is a thin, named wrapper over the machine model's
+    :class:`~repro.machine.executor.ExecutionProfile` defaults so stack
+    definitions read in the paper's terms.
+    """
+
+    code_bytes: int = 6144
+    data_bytes: int = 256
+    base_cycles: float = 1376.0
+    per_byte_cycles: float = 0.5
+
+    def to_profile(self) -> ExecutionProfile:
+        return ExecutionProfile(
+            code_bytes=self.code_bytes,
+            data_bytes=self.data_bytes,
+            base_cycles=self.base_cycles,
+            per_byte_cycles=self.per_byte_cycles,
+        )
+
+
+class Layer(ABC):
+    """One protocol layer.
+
+    Subclasses implement :meth:`deliver`; the scheduler machinery never
+    calls it directly but always through a
+    :class:`~repro.core.scheduler.Scheduler`, which decides *when* each
+    (layer, message) pair runs.
+    """
+
+    def __init__(self, name: str, footprint: LayerFootprint | None = None) -> None:
+        self.name = name
+        self.footprint = footprint or LayerFootprint()
+
+    @abstractmethod
+    def deliver(self, message: Message) -> list[Message]:
+        """Process one message; return messages for the next layer up.
+
+        Returning ``[]`` consumes the message (e.g. the top layer
+        delivering to an application, or a dropped packet).
+        """
+
+    def flush(self) -> list[Message]:
+        """Emit any messages the layer held back (batch-end hook).
+
+        Layers that coalesce work across a batch (e.g. a TCP layer
+        holding a delayed ACK) override this; the schedulers call it
+        when a batch at this layer completes.
+        """
+        return []
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PassthroughLayer(Layer):
+    """A layer that forwards every message unchanged.
+
+    The synthetic benchmark of Section 4 uses five of these: all cost,
+    no transformation.
+    """
+
+    def deliver(self, message: Message) -> list[Message]:
+        return [message]
+
+
+class CountingLayer(PassthroughLayer):
+    """Passthrough layer that counts deliveries (test/diagnostic aid)."""
+
+    def __init__(self, name: str, footprint: LayerFootprint | None = None) -> None:
+        super().__init__(name, footprint)
+        self.delivered: list[int] = []
+
+    def deliver(self, message: Message) -> list[Message]:
+        self.delivered.append(message.msg_id)
+        return [message]
+
+
+class SinkLayer(Layer):
+    """Top-of-stack layer that consumes messages and records them."""
+
+    def __init__(self, name: str = "application") -> None:
+        super().__init__(name, LayerFootprint(code_bytes=512, data_bytes=64,
+                                              base_cycles=50.0, per_byte_cycles=0.0))
+        self.received: list[Message] = []
+
+    def deliver(self, message: Message) -> list[Message]:
+        self.received.append(message)
+        return []

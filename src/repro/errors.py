@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters.
+
+    Examples: a cache whose size is not a multiple of its line size, a
+    negative miss penalty, a traffic source with a non-positive rate.
+    """
+
+
+class LayoutError(ReproError):
+    """Code or data regions could not be placed in the memory layout."""
+
+
+class TraceError(ReproError):
+    """A memory trace is malformed or cannot be parsed."""
+
+
+class ProtocolError(ReproError):
+    """A packet failed protocol-level validation.
+
+    Raised when parsing malformed frames, when checksums do not verify,
+    or when a protocol state machine receives an inadmissible message.
+    """
+
+
+class ChecksumError(ProtocolError):
+    """A checksum did not verify."""
+
+
+class BufferError_(ReproError):
+    """An mbuf operation was invalid (out of range adjust, empty chain...).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``BufferError``; exported as ``MbufError`` from :mod:`repro.buffers`.
+    """
+
+
+class SchedulerError(ReproError):
+    """A layer-processing scheduler was driven incorrectly.
+
+    Examples: registering two layers with the same priority in a stack
+    that requires a total order, or running a scheduler with no layers.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SignallingError(ProtocolError):
+    """A signalling (mini-Q.93B) protocol violation."""

@@ -1,0 +1,35 @@
+"""Reproduction harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(...) -> <Result>`` returning a structured
+result with a ``render()`` text table and a shape/tolerance predicate,
+plus a ``main()`` entry point.  The ``ldlp-experiment`` CLI (see
+:mod:`repro.experiments.cli`) drives them from the shell.
+"""
+
+from . import (
+    ablations,
+    figure1,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    motivation,
+    schedules,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "ablations",
+    "figure1",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "motivation",
+    "schedules",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,88 @@
+"""``ldlp-experiment`` — run any reproduction harness from the shell.
+
+Usage::
+
+    ldlp-experiment table1
+    ldlp-experiment figure6 --paper-scale
+    ldlp-experiment all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablations,
+    figure1,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    motivation,
+    schedules,
+    table1,
+    table2,
+    table3,
+)
+
+EXPERIMENTS = {
+    "table1": lambda args: print(table1.run(seed=args.seed).render()),
+    "table2": lambda args: table2.main(),
+    "table3": lambda args: print(table3.run(seed=args.seed).render()),
+    "figure1": lambda args: _figure1(args),
+    "figure5": lambda args: print(
+        figure5.run(paper_scale=args.paper_scale).render()
+    ),
+    "figure6": lambda args: print(
+        figure6.run(paper_scale=args.paper_scale).render()
+    ),
+    "figure7": lambda args: print(figure7.run().render()),
+    "figure8": lambda args: print(figure8.run().render()),
+    "ablations": lambda args: ablations.main(),
+    "schedules": lambda args: schedules.main(),
+    "motivation": lambda args: print(motivation.run().render()),
+}
+
+
+def _figure1(args: argparse.Namespace) -> None:
+    result = figure1.run(seed=args.seed)
+    print(result.phase_table())
+    print()
+    print(result.code_map())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ldlp-experiment",
+        description=(
+            "Regenerate the tables and figures of Blackwell, 'Speeding up "
+            "Protocols for Small Messages' (SIGCOMM 1996)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="model/placement seed")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="full paper methodology (100 placements x 1 s) where applicable",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for index, name in enumerate(names):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        EXPERIMENTS[name](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Experiment F6 — Figure 6: latency vs arrival rate (Poisson traffic).
+
+Same setup as Figure 5, reporting mean message latency.  Expected
+shape: identical at low load; conventional saturates (latency pinned
+near the 500-packet buffer bound, with drops) well before 10 k msgs/s;
+LDLP holds sub-millisecond-to-few-millisecond latency almost to 10 k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.runner import SimulationConfig, run_averaged
+from ..sim.stats import RunResult
+from ..traffic.poisson import PoissonSource
+from ..units import format_duration
+from .figure5 import DEFAULT_DURATION, DEFAULT_SEEDS, PAPER_RATES
+from .report import render_table
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    rates: tuple[int, ...]
+    conventional: list[RunResult]
+    ldlp: list[RunResult]
+
+    def shape_holds(self) -> bool:
+        """The paper's qualitative claims about Figure 6."""
+        conv = self.conventional
+        ldlp = self.ldlp
+        # Comparable at the lowest rate (within 3x either way).
+        low_ratio = conv[0].latency.mean / ldlp[0].latency.mean
+        comparable = 1 / 3 <= low_ratio <= 3
+        # Conventional saturates: latency at the top rate beyond 10 ms
+        # and drops occur; LDLP stays below 10 ms at 9000/s.
+        conv_saturated = conv[-1].latency.mean > 10e-3 and conv[-1].dropped > 0
+        ldlp_index = self.rates.index(9000) if 9000 in self.rates else -1
+        ldlp_ok = ldlp[ldlp_index].latency.mean < 10e-3
+        # LDLP latency is never dramatically worse than conventional.
+        never_worse = all(
+            l.latency.mean < max(3 * c.latency.mean, 2e-3)
+            for c, l in zip(conv, ldlp)
+        )
+        return comparable and conv_saturated and ldlp_ok and never_worse
+
+    def render(self) -> str:
+        rows = []
+        for index, rate in enumerate(self.rates):
+            conv = self.conventional[index]
+            ldlp = self.ldlp[index]
+            rows.append(
+                [
+                    rate,
+                    format_duration(conv.latency.mean),
+                    format_duration(conv.latency.p99),
+                    conv.dropped,
+                    format_duration(ldlp.latency.mean),
+                    format_duration(ldlp.latency.p99),
+                    ldlp.dropped,
+                ]
+            )
+        return render_table(
+            [
+                "rate/s",
+                "conv mean",
+                "conv p99",
+                "conv drops",
+                "LDLP mean",
+                "LDLP p99",
+                "LDLP drops",
+            ],
+            rows,
+            title="Figure 6: latency vs arrival rate (Poisson, 500-packet buffer)",
+        )
+
+
+def run(
+    rates: tuple[int, ...] = PAPER_RATES,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    duration: float = DEFAULT_DURATION,
+    paper_scale: bool = False,
+) -> Figure6Result:
+    if paper_scale:
+        seeds = tuple(range(100))
+        duration = 1.0
+    conventional = []
+    ldlp = []
+    for rate in rates:
+        def source_factory(seed, rate=rate):
+            return PoissonSource(rate, rng=seed)
+
+        for name, bucket in (("conventional", conventional), ("ldlp", ldlp)):
+            config = SimulationConfig(scheduler=name, duration=duration)
+            bucket.append(run_averaged(source_factory, config, list(seeds)))
+    return Figure6Result(rates=tuple(rates), conventional=conventional, ldlp=ldlp)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""The introduction's arithmetic: setup time across a switch chain.
+
+Section 1: "If ATM switches are deployed like IP routers, then a
+cross-country connection might pass through 10 to 20 switches.  Several
+current signalling implementations spend 5 to 20 milliseconds
+processing each message: this could add a large fraction of a second to
+the connection setup time across a large network... Our performance
+goal is to support 10000 pairs of setup/teardown requests per second
+with processing latency of 100 microseconds for setup requests."
+
+This harness measures per-switch SETUP processing latency on the
+simulated machine (mini-Q.93B switch under load, conventional vs LDLP)
+and composes it across an N-switch path: a SETUP traverses every hop in
+sequence, so end-to-end setup time ≈ Σ per-hop (queueing + processing)
++ propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.batching import BatchPolicy
+from ..core.binding import MachineBinding
+from ..core.layer import Message
+from ..core.scheduler import ConventionalScheduler, LDLPScheduler
+from ..sim.runner import drive
+from ..signalling.q93b import release, setup
+from ..signalling.switch import build_switch, saal_frame
+from ..units import format_duration
+from .report import render_table
+
+#: Cross-country speed-of-light propagation (one way, in fibre).
+CROSS_COUNTRY_PROPAGATION = 0.020
+
+
+def per_hop_latency(
+    scheduler_name: str,
+    pair_rate: float,
+    duration: float = 0.3,
+    seed: int = 5,
+) -> float:
+    """Mean per-message latency of one switch at a given load."""
+    rng = np.random.default_rng(seed)
+    switch = build_switch()
+    binding = MachineBinding(rng=seed, buffer_size=512)
+    if scheduler_name == "ldlp":
+        scheduler = LDLPScheduler(
+            switch.layers,
+            binding,
+            batch_policy=BatchPolicy.from_cache(
+                binding.spec.dcache.size,
+                typical_message_bytes=128,
+                layer_data_reserve=1024,
+            ),
+        )
+    else:
+        scheduler = ConventionalScheduler(switch.layers, binding)
+    arrivals = []
+    time = 0.0
+    sequence = 0
+    call_ref = 1
+    while True:
+        time += rng.exponential(1.0 / pair_rate)
+        if time >= duration:
+            break
+        for offset, wire in (
+            (0.0, setup(call_ref, f"dest-{call_ref % 57}")),
+            (200e-6, release(call_ref)),
+        ):
+            arrivals.append(
+                (time + offset,
+                 Message(payload=saal_frame(wire.serialize(), sequence)))
+            )
+            sequence += 1
+        call_ref += 1
+    arrivals.sort(key=lambda pair: pair[0])
+    # Re-sequence after sorting (SAAL expects in-order sequence numbers).
+    resequenced = []
+    for index, (when, message) in enumerate(arrivals):
+        resequenced.append((when, message))
+    outcome = drive(scheduler, resequenced)
+    summary = outcome.latency.summary()
+    return summary.mean if summary.count else float("inf")
+
+
+@dataclass(frozen=True)
+class MotivationResult:
+    """End-to-end setup time across hop counts and load levels."""
+
+    pair_rate: float
+    hops: tuple[int, ...]
+    conventional_per_hop: float
+    ldlp_per_hop: float
+
+    def end_to_end(self, per_hop: float, hops: int) -> float:
+        return hops * per_hop + CROSS_COUNTRY_PROPAGATION
+
+    def goal_met(self) -> bool:
+        """The paper's goal: ~100 us processing latency per setup at
+        10 k pairs/s — checked against the LDLP per-hop latency."""
+        return self.ldlp_per_hop < 1e-3
+
+    def render(self) -> str:
+        rows = []
+        for hops in self.hops:
+            rows.append(
+                [
+                    hops,
+                    format_duration(
+                        self.end_to_end(self.conventional_per_hop, hops)
+                    ),
+                    format_duration(self.end_to_end(self.ldlp_per_hop, hops)),
+                ]
+            )
+        table = render_table(
+            ["hops", "conventional e2e", "LDLP e2e"],
+            rows,
+            title=(
+                f"Cross-network connection setup at {self.pair_rate:.0f} "
+                f"setup/teardown pairs/s per switch (incl. 20 ms propagation)"
+            ),
+        )
+        return (
+            table
+            + f"\nper-hop processing: conventional "
+            f"{format_duration(self.conventional_per_hop)}, LDLP "
+            f"{format_duration(self.ldlp_per_hop)} "
+            f"(paper's goal: ~100 us at 10000 pairs/s)"
+        )
+
+
+def run(
+    pair_rate: float = 10_000.0,
+    hops: tuple[int, ...] = (1, 5, 10, 20),
+    duration: float = 0.3,
+    seed: int = 5,
+) -> MotivationResult:
+    return MotivationResult(
+        pair_rate=pair_rate,
+        hops=hops,
+        conventional_per_hop=per_hop_latency(
+            "conventional", pair_rate, duration, seed
+        ),
+        ldlp_per_hop=per_hop_latency("ldlp", pair_rate, duration, seed),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""The simulated machine: regions, layout, CPU cost model, executor."""
+
+from .cpu import CPU
+from .executor import (
+    BufferPool,
+    ExecutionProfile,
+    FootprintExecutor,
+    MessageBuffer,
+    PlacedLayer,
+)
+from .layout import DEFAULT_SPAN, MemoryLayout
+from .program import Program, Region, RegionKind
+
+__all__ = [
+    "BufferPool",
+    "CPU",
+    "DEFAULT_SPAN",
+    "ExecutionProfile",
+    "FootprintExecutor",
+    "MemoryLayout",
+    "MessageBuffer",
+    "PlacedLayer",
+    "Program",
+    "Region",
+    "RegionKind",
+]

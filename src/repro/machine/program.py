@@ -1,0 +1,119 @@
+"""Code and data regions — the static shape of a program in memory.
+
+The synthetic benchmark of Section 4 models each protocol layer as a
+contiguous code region (6 KB) plus a small data region (256 bytes); the
+NetBSD model of Section 2 models every kernel function as a code region
+with its published size.  Regions start unplaced; a
+:class:`~repro.machine.layout.MemoryLayout` assigns base addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import LayoutError
+
+
+class RegionKind(enum.Enum):
+    CODE = "code"
+    DATA = "data"
+
+
+@dataclass
+class Region:
+    """A named contiguous span of memory, placed at most once.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (function or layer name).
+    size:
+        Extent in bytes; must be positive.
+    kind:
+        Code or data; determines which cache it occupies.
+    base:
+        Base byte address once placed, else ``None``.
+    """
+
+    name: str
+    size: int
+    kind: RegionKind = RegionKind.CODE
+    base: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise LayoutError(f"region {self.name!r} must have positive size")
+
+    @property
+    def placed(self) -> bool:
+        return self.base is not None
+
+    def require_base(self) -> int:
+        """Return the base address, raising if the region is unplaced."""
+        if self.base is None:
+            raise LayoutError(f"region {self.name!r} has not been placed")
+        return self.base
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.require_base() + self.size
+
+    def contains(self, addr: int) -> bool:
+        base = self.require_base()
+        return base <= addr < base + self.size
+
+    def line_numbers(self, line_size: int) -> np.ndarray:
+        """Absolute line numbers covered by the region (int64 array)."""
+        base = self.require_base()
+        first = base // line_size
+        last = (base + self.size - 1) // line_size
+        return np.arange(first, last + 1, dtype=np.int64)
+
+
+@dataclass
+class Program:
+    """A collection of regions making up one simulated program."""
+
+    regions: list[Region] = field(default_factory=list)
+
+    def add(self, region: Region) -> Region:
+        if any(existing.name == region.name for existing in self.regions):
+            raise LayoutError(f"duplicate region name {region.name!r}")
+        self.regions.append(region)
+        return region
+
+    def add_code(self, name: str, size: int) -> Region:
+        return self.add(Region(name, size, RegionKind.CODE))
+
+    def add_data(self, name: str, size: int) -> Region:
+        return self.add(Region(name, size, RegionKind.DATA))
+
+    def region(self, name: str) -> Region:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise LayoutError(f"no region named {name!r}")
+
+    def code_regions(self) -> list[Region]:
+        return [region for region in self.regions if region.kind is RegionKind.CODE]
+
+    def data_regions(self) -> list[Region]:
+        return [region for region in self.regions if region.kind is RegionKind.DATA]
+
+    def total_size(self, kind: RegionKind | None = None) -> int:
+        return sum(
+            region.size
+            for region in self.regions
+            if kind is None or region.kind is kind
+        )
+
+    def function_of_addr(self, addr: int) -> str | None:
+        """Name of the region containing ``addr`` (placed regions only)."""
+        for region in self.regions:
+            if region.placed and region.contains(addr):
+                return region.name
+        return None

@@ -1,0 +1,87 @@
+"""The NetBSD/Alpha receive-path model (Section 2 substitution).
+
+Rebuilds the paper's measurement half as a calibrated model: the
+Figure-1 function catalog, the Table-1 layer taxonomy, synthesized
+sub-line touch maps, and the three-phase receive-&-acknowledge trace
+script.  See DESIGN.md for what is published data versus modeled.
+"""
+
+from .cord import (
+    CordResult,
+    DilutionReport,
+    compact_trace,
+    measure_dilution,
+    run_cord_experiment,
+)
+from .functions import (
+    ALL_LAYERS,
+    CATALOG,
+    FunctionSpec,
+    catalog_by_name,
+    fn_to_layer_map,
+    functions_of_layer,
+    layer_catalog_bytes,
+)
+from .layers import (
+    CLARK_BYTES_ON_ALPHA,
+    CLARK_INSTRUCTIONS,
+    LayerWorkingSet,
+    PAPER_PHASES,
+    PAPER_TABLE1,
+    PAPER_TABLE1_TOTAL,
+    PAPER_TABLE3,
+    PhaseTotals,
+    TRACE_MESSAGE_BYTES,
+    Table3Row,
+    table1_row_sum,
+)
+from .receive_path import (
+    CODE_PLAN,
+    PHASE_ENTRY,
+    PHASE_EXIT,
+    PHASE_INTR,
+    PHASES,
+    CodePlan,
+    ReceivePathModel,
+)
+from .touchmap import (
+    coverage_stats,
+    synthesize_code_touch_words,
+    synthesize_data_touch_words,
+)
+
+__all__ = [
+    "ALL_LAYERS",
+    "CordResult",
+    "DilutionReport",
+    "compact_trace",
+    "measure_dilution",
+    "run_cord_experiment",
+    "CATALOG",
+    "CLARK_BYTES_ON_ALPHA",
+    "CLARK_INSTRUCTIONS",
+    "CODE_PLAN",
+    "CodePlan",
+    "FunctionSpec",
+    "LayerWorkingSet",
+    "PAPER_PHASES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE1_TOTAL",
+    "PAPER_TABLE3",
+    "PHASES",
+    "PHASE_ENTRY",
+    "PHASE_EXIT",
+    "PHASE_INTR",
+    "PhaseTotals",
+    "ReceivePathModel",
+    "TRACE_MESSAGE_BYTES",
+    "Table3Row",
+    "catalog_by_name",
+    "coverage_stats",
+    "fn_to_layer_map",
+    "functions_of_layer",
+    "layer_catalog_bytes",
+    "synthesize_code_touch_words",
+    "synthesize_data_touch_words",
+    "table1_row_sum",
+]

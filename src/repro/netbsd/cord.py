@@ -1,0 +1,144 @@
+"""Cord-style code layout compaction (Section 5.4).
+
+Mosberger et al. "compact the working set of protocol code by moving
+rarely executed basic blocks to the end of functions to avoid diluting
+the cache with instructions that do not get executed"; the paper
+concludes from Table 3 that "about 25% of instructions fetched into the
+cache are not executed, and therefore that a perfectly dense cache
+layout would reduce the number of cache lines in the working set by
+about 25%".
+
+This module measures that *cache dilution* on a receive-path trace and
+applies the ideal transformation: per function, executed words are
+repacked contiguously from the function's base (untaken branches and
+error paths move to the end), producing a new trace whose working set
+is what a Cord/Mosberger-optimized kernel would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.workingset import Category, WorkingSetAnalyzer
+from ..trace.buffer import TraceBuffer
+from ..trace.record import MemRef
+from .receive_path import LINE, WORD, ReceivePathModel
+
+
+@dataclass(frozen=True)
+class DilutionReport:
+    """Cache-dilution measurement for the code working set.
+
+    Attributes
+    ----------
+    executed_bytes:
+        Bytes of instructions actually executed (word granularity).
+    fetched_bytes:
+        Bytes fetched into the cache (line granularity x line size).
+    lines_before / lines_after:
+        Working-set lines with the real layout versus the perfectly
+        dense layout.
+    """
+
+    executed_bytes: int
+    fetched_bytes: int
+    lines_before: int
+    lines_after: int
+
+    @property
+    def dilution(self) -> float:
+        """Fraction of fetched instruction bytes never executed."""
+        if not self.fetched_bytes:
+            return 0.0
+        return 1.0 - self.executed_bytes / self.fetched_bytes
+
+    @property
+    def line_savings(self) -> float:
+        """Fractional working-set line reduction from dense layout."""
+        if not self.lines_before:
+            return 0.0
+        return 1.0 - self.lines_after / self.lines_before
+
+
+def measure_dilution(analyzer: WorkingSetAnalyzer, line_size: int = 32) -> DilutionReport:
+    """Measure code dilution from an existing working-set analysis."""
+    at_word = analyzer.totals_at(analyzer.atom_size)[Category.CODE]
+    at_line = analyzer.totals_at(line_size)[Category.CODE]
+    dense_lines = -(-at_word.bytes // line_size)
+    return DilutionReport(
+        executed_bytes=at_word.bytes,
+        fetched_bytes=at_line.bytes,
+        lines_before=at_line.lines,
+        lines_after=dense_lines,
+    )
+
+
+def compact_trace(model: ReceivePathModel, trace: TraceBuffer) -> TraceBuffer:
+    """Rewrite a trace as a dense per-function layout would produce it.
+
+    For every function, executed words are renumbered 0, 1, 2, ... in
+    first-execution order and placed from the function's base address;
+    data references and trace structure are untouched.  The result is
+    analyzable by the same pipeline as the original.
+    """
+    # First pass: assign packed offsets per function in first-touch order.
+    packed: dict[str, dict[int, int]] = {}
+    for ref in trace.refs:
+        if not ref.is_code() or ref.fn is None:
+            continue
+        mapping = packed.setdefault(ref.fn, {})
+        word = ref.addr // WORD
+        if word not in mapping:
+            mapping[word] = len(mapping)
+
+    bases = {
+        name: placed.base for name, placed in model._functions.items()
+    }
+    compacted = TraceBuffer()
+    compacted.phase_marks = list(trace.phase_marks)
+    compacted.call_events = list(trace.call_events)
+    for ref in trace.refs:
+        if ref.is_code() and ref.fn in packed and ref.fn in bases:
+            offset = packed[ref.fn][ref.addr // WORD]
+            new_addr = bases[ref.fn] + offset * WORD
+            compacted.refs.append(MemRef(ref.kind, new_addr, ref.size, ref.fn))
+        else:
+            compacted.refs.append(ref)
+    return compacted
+
+
+@dataclass(frozen=True)
+class CordResult:
+    """Before/after working sets for the compaction experiment."""
+
+    before: DilutionReport
+    lines_measured_after: int
+
+    def render(self) -> str:
+        report = self.before
+        return (
+            "Cord-style layout compaction (Section 5.4)\n"
+            "==========================================\n"
+            f"executed instruction bytes: {report.executed_bytes}\n"
+            f"fetched (line-granular) bytes: {report.fetched_bytes}\n"
+            f"cache dilution: {report.dilution:.1%} "
+            f"(paper: ~25% of fetched instructions not executed)\n"
+            f"working-set lines: {report.lines_before} -> "
+            f"{self.lines_measured_after} measured after compaction "
+            f"({report.lines_after} ideal dense), "
+            f"saving {1 - self.lines_measured_after / report.lines_before:.1%}"
+        )
+
+
+def run_cord_experiment(seed: int = 0) -> CordResult:
+    """Measure dilution and verify it by actually compacting the trace."""
+    model = ReceivePathModel(seed=seed)
+    trace = model.build_trace()
+    analyzer = model.analyze(trace)
+    before = measure_dilution(analyzer)
+
+    compacted = compact_trace(model, trace)
+    after_analyzer = WorkingSetAnalyzer(model.classifier())
+    after_analyzer.consume(model.table1_refs(compacted))
+    after = after_analyzer.totals_at(LINE)[Category.CODE]
+    return CordResult(before=before, lines_measured_after=after.lines)

@@ -1,0 +1,171 @@
+"""The Figure-1 function catalog.
+
+Every function shown in the paper's Figure 1 (the active-code map of the
+NetBSD/Alpha TCP receive & acknowledge path) with its published size in
+bytes, assigned to the Table-1 layer taxonomy.  Figure 1's list is not
+the complete kernel: a few layers' published working sets exceed the
+summed sizes of the functions the figure shows, so the catalog includes
+additional *modeled* entries (marked ``source="modeled"``) with
+plausible names and sizes to carry the remainder; DESIGN.md documents
+this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+# Table-1 layer names.
+LAYER_ETHERNET = "Ethernet"
+LAYER_IP = "IP"
+LAYER_TCP = "TCP"
+LAYER_SOCKET_LOW = "Socket low"
+LAYER_SOCKET_HIGH = "Socket high"
+LAYER_KERNEL = "Kernel entry/exit"
+LAYER_PROCESS = "Process control"
+LAYER_BUFFER = "Buffer mgmt"
+LAYER_COMMON = "Common"
+LAYER_COPY = "Copy, checksum"
+
+ALL_LAYERS = (
+    LAYER_ETHERNET,
+    LAYER_IP,
+    LAYER_TCP,
+    LAYER_SOCKET_LOW,
+    LAYER_SOCKET_HIGH,
+    LAYER_KERNEL,
+    LAYER_PROCESS,
+    LAYER_BUFFER,
+    LAYER_COMMON,
+    LAYER_COPY,
+)
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One kernel function: name, total size, owning layer."""
+
+    name: str
+    size: int
+    layer: str
+    source: str = "figure1"
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"function {self.name!r} needs positive size")
+        if self.layer not in ALL_LAYERS:
+            raise ConfigurationError(f"unknown layer {self.layer!r}")
+        if self.source not in ("figure1", "modeled"):
+            raise ConfigurationError(f"unknown source {self.source!r}")
+
+
+def _fn(name: str, size: int, layer: str, source: str = "figure1") -> FunctionSpec:
+    return FunctionSpec(name, size, layer, source)
+
+
+#: The full catalog, in rough address order of Figure 1 (top to bottom).
+CATALOG: tuple[FunctionSpec, ...] = (
+    # --- Copy / checksum ------------------------------------------------
+    _fn("in_cksum", 1104, LAYER_COPY),
+    _fn("bcopy", 620, LAYER_COPY),
+    _fn("copyout", 132, LAYER_COPY),
+    _fn("copyin", 132, LAYER_COPY, "modeled"),
+    _fn("bzero", 184, LAYER_COPY),
+    _fn("uiomove", 424, LAYER_COPY),
+    _fn("ntohl", 64, LAYER_COPY),
+    _fn("ntohs", 32, LAYER_COPY),
+    _fn("ovbcopy", 448, LAYER_COPY, "modeled"),
+    _fn("imin_imax", 96, LAYER_COPY, "modeled"),
+    # --- Kernel entry/exit ----------------------------------------------
+    _fn("syscall", 1176, LAYER_KERNEL),
+    _fn("trap", 2008, LAYER_KERNEL),
+    _fn("XentInt", 208, LAYER_KERNEL),
+    _fn("XentSys", 148, LAYER_KERNEL),
+    _fn("rei", 320, LAYER_KERNEL),
+    _fn("pal_swpipl", 8, LAYER_KERNEL),
+    # --- Common (interrupt plumbing, time, spl) ---------------------------
+    _fn("microtime", 288, LAYER_COMMON),
+    _fn("spl0", 136, LAYER_COMMON),
+    _fn("splx", 128, LAYER_COMMON, "modeled"),
+    _fn("splnet", 112, LAYER_COMMON, "modeled"),
+    _fn("netintr", 344, LAYER_COMMON),
+    _fn("do_sir", 200, LAYER_COMMON),
+    _fn("interrupt", 184, LAYER_COMMON),
+    _fn("schednetisr", 96, LAYER_COMMON, "modeled"),
+    _fn("logwakeup", 160, LAYER_COMMON, "modeled"),
+    # --- Process control ---------------------------------------------------
+    _fn("setrunqueue", 176, LAYER_PROCESS),
+    _fn("mi_switch", 520, LAYER_PROCESS),
+    _fn("cpu_switch", 460, LAYER_PROCESS),
+    _fn("tsleep", 1096, LAYER_PROCESS),
+    _fn("wakeup", 488, LAYER_PROCESS),
+    _fn("selwakeup", 456, LAYER_PROCESS),
+    _fn("idle", 68, LAYER_PROCESS),
+    _fn("remrq", 144, LAYER_PROCESS, "modeled"),
+    # --- Device / Ethernet ---------------------------------------------
+    _fn("leintr", 3264, LAYER_ETHERNET),
+    _fn("lestart", 1824, LAYER_ETHERNET),
+    _fn("lewritereg", 216, LAYER_ETHERNET),
+    _fn("asic_intr", 392, LAYER_ETHERNET),
+    _fn("tc_3000_500_iointr", 848, LAYER_ETHERNET),
+    _fn("copyfrombuf_gap2", 240, LAYER_ETHERNET),
+    _fn("copytobuf_gap2", 256, LAYER_ETHERNET),
+    _fn("copyfrombuf_gap16", 208, LAYER_ETHERNET),
+    _fn("copytobuf_gap16", 208, LAYER_ETHERNET),
+    _fn("zerobuf_gap16", 184, LAYER_ETHERNET),
+    _fn("ether_input", 2728, LAYER_ETHERNET),
+    _fn("ether_output", 3632, LAYER_ETHERNET),
+    _fn("arpresolve", 944, LAYER_ETHERNET),
+    # --- IP ---------------------------------------------------------------
+    _fn("ipintr", 2648, LAYER_IP),
+    _fn("in_broadcast", 288, LAYER_IP),
+    _fn("ip_output", 5120, LAYER_IP),
+    # --- TCP ---------------------------------------------------------------
+    _fn("tcp_input", 11872, LAYER_TCP),
+    _fn("tcp_output", 4872, LAYER_TCP),
+    _fn("tcp_usrreq", 2352, LAYER_TCP),
+    # --- Socket low -------------------------------------------------------
+    _fn("soreceive", 5536, LAYER_SOCKET_LOW),
+    _fn("sbappend", 160, LAYER_SOCKET_LOW),
+    _fn("sbcompress", 704, LAYER_SOCKET_LOW),
+    _fn("sowakeup", 360, LAYER_SOCKET_LOW),
+    _fn("sbwait", 160, LAYER_SOCKET_LOW),
+    # --- Socket high -------------------------------------------------------
+    _fn("read", 312, LAYER_SOCKET_HIGH),
+    _fn("soo_read", 80, LAYER_SOCKET_HIGH),
+    _fn("seltrue", 64, LAYER_SOCKET_HIGH, "modeled"),
+    _fn("getsock", 192, LAYER_SOCKET_HIGH, "modeled"),
+    # --- Buffer management ------------------------------------------------
+    _fn("malloc", 1608, LAYER_BUFFER),
+    _fn("free", 856, LAYER_BUFFER),
+    _fn("m_adj", 376, LAYER_BUFFER),
+    _fn("m_get", 704, LAYER_BUFFER, "modeled"),
+    _fn("m_free", 592, LAYER_BUFFER, "modeled"),
+    _fn("m_copym", 896, LAYER_BUFFER, "modeled"),
+    _fn("m_pullup", 512, LAYER_BUFFER, "modeled"),
+    _fn("sbreserve", 256, LAYER_BUFFER, "modeled"),
+    _fn("mb_alloc_cluster", 448, LAYER_BUFFER, "modeled"),
+)
+
+
+def catalog_by_name() -> dict[str, FunctionSpec]:
+    """Name → spec for the whole catalog."""
+    return {spec.name: spec for spec in CATALOG}
+
+
+def functions_of_layer(layer: str) -> list[FunctionSpec]:
+    """Catalog entries belonging to one Table-1 layer."""
+    if layer not in ALL_LAYERS:
+        raise ConfigurationError(f"unknown layer {layer!r}")
+    return [spec for spec in CATALOG if spec.layer == layer]
+
+
+def fn_to_layer_map() -> dict[str, str]:
+    """The function→layer map the trace classifier uses."""
+    return {spec.name: spec.layer for spec in CATALOG}
+
+
+def layer_catalog_bytes(layer: str) -> int:
+    """Total catalogued code bytes in one layer."""
+    return sum(spec.size for spec in functions_of_layer(layer))

@@ -1,0 +1,161 @@
+"""Synthesizing sub-line touch maps for the receive-path model.
+
+The paper publishes *line-aggregated* working sets (Table 1, 32-byte
+lines) and how they change with line size (Table 3).  To reproduce
+Table 3 the model needs word-granularity touch patterns with the right
+sub-line density; this module synthesizes them:
+
+* **Code**: runs of consecutively executed instructions separated by
+  gaps (untaken branches, error paths) — geometric run/gap lengths with
+  an occasional long gap, calibrated so ~75 % of the words in a touched
+  32-byte line are executed (Table 3's 4-byte row: -25 % bytes).
+* **Data**: small scattered items (a pointer here, a counter there) —
+  8-to-16-byte items placed randomly, calibrated to Table 3's read-only
+  and mutable rows.
+
+All generation is deterministic given the RNG, and each function's
+touch map hits an exact 32-byte-line budget so Table 1 reproduces
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+WORD = 4  # Alpha instruction size
+WORDS_PER_LINE = 8  # 32-byte lines
+
+
+def _geometric(rng: np.random.Generator, mean: float) -> int:
+    """A geometric sample with the given mean, at least 1."""
+    p = 1.0 / max(mean, 1.0)
+    return int(rng.geometric(p))
+
+
+def synthesize_code_touch_words(
+    size_bytes: int,
+    target_lines: int,
+    rng: np.random.Generator,
+    run_mean: float = 9.0,
+    gap_mean: float = 3.5,
+    long_gap_prob: float = 0.2,
+    long_gap_mean: float = 20.0,
+) -> np.ndarray:
+    """Word offsets (units of 4 bytes) executed within one function.
+
+    The result covers exactly ``target_lines`` distinct 32-byte lines.
+    Raises when the budget exceeds the function's capacity.
+    """
+    capacity_lines = -(-size_bytes // (WORDS_PER_LINE * WORD))
+    if target_lines > capacity_lines:
+        raise ConfigurationError(
+            f"budget of {target_lines} lines exceeds function capacity "
+            f"{capacity_lines} lines ({size_bytes} bytes)"
+        )
+    if target_lines <= 0:
+        return np.empty(0, dtype=np.int64)
+    total_words = size_bytes // WORD
+    touched: list[int] = []
+    word = 0
+    while word < total_words:
+        run = _geometric(rng, run_mean)
+        for offset in range(run):
+            if word + offset >= total_words:
+                break
+            touched.append(word + offset)
+        word += run
+        if rng.random() < long_gap_prob:
+            word += _geometric(rng, long_gap_mean)
+        else:
+            word += _geometric(rng, gap_mean)
+    return _fit_to_line_budget(np.asarray(touched, dtype=np.int64),
+                               target_lines, capacity_lines, rng)
+
+
+def synthesize_data_touch_words(
+    size_bytes: int,
+    target_lines: int,
+    rng: np.random.Generator,
+    item_words_choices: tuple[int, ...] = (1, 2, 2, 4),
+    pair_prob: float = 0.35,
+) -> np.ndarray:
+    """Word offsets of data items touched within one data region.
+
+    Items are scattered; ``pair_prob`` controls how often a second item
+    lands in an already-touched line (raising sub-line density).
+    Covers exactly ``target_lines`` distinct 32-byte lines.
+    """
+    capacity_lines = -(-size_bytes // (WORDS_PER_LINE * WORD))
+    if target_lines > capacity_lines:
+        raise ConfigurationError(
+            f"budget of {target_lines} lines exceeds region capacity "
+            f"{capacity_lines} lines ({size_bytes} bytes)"
+        )
+    if target_lines <= 0:
+        return np.empty(0, dtype=np.int64)
+    total_words = size_bytes // WORD
+    touched: set[int] = set()
+    lines: set[int] = set()
+    # Place one item in each of target_lines distinct lines, then with
+    # probability pair_prob drop an extra item into a touched line.
+    candidate_lines = rng.permutation(capacity_lines)[:target_lines]
+    for line in candidate_lines:
+        base = int(line) * WORDS_PER_LINE
+        item = int(rng.choice(item_words_choices))
+        start = base + int(rng.integers(0, max(1, WORDS_PER_LINE - item + 1)))
+        for word in range(start, min(start + item, total_words)):
+            touched.add(word)
+        lines.add(int(line))
+        if rng.random() < pair_prob:
+            item = int(rng.choice(item_words_choices))
+            start = base + int(rng.integers(0, max(1, WORDS_PER_LINE - item + 1)))
+            for word in range(start, min(start + item, total_words)):
+                touched.add(word)
+    result = np.asarray(sorted(touched), dtype=np.int64)
+    # The per-line placement guarantees exactly target_lines lines.
+    assert len({int(w) // WORDS_PER_LINE for w in result}) == target_lines
+    return result
+
+
+def _fit_to_line_budget(
+    words: np.ndarray,
+    target_lines: int,
+    capacity_lines: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Trim or pad a word set to cover exactly ``target_lines`` lines."""
+    lines_in_order: list[int] = []
+    seen: set[int] = set()
+    for word in words:
+        line = int(word) // WORDS_PER_LINE
+        if line not in seen:
+            seen.add(line)
+            lines_in_order.append(line)
+    if len(lines_in_order) >= target_lines:
+        keep = set(lines_in_order[:target_lines])
+        return words[np.isin(words // WORDS_PER_LINE, list(keep))]
+    # Pad: touch a short run in untouched lines until the budget is met.
+    untouched = [line for line in range(capacity_lines) if line not in seen]
+    rng.shuffle(untouched)
+    extra: list[int] = []
+    for line in untouched[: target_lines - len(lines_in_order)]:
+        start = line * WORDS_PER_LINE + int(rng.integers(0, WORDS_PER_LINE - 2))
+        extra.extend(range(start, start + 3))
+    return np.asarray(sorted(set(words.tolist()) | set(extra)), dtype=np.int64)
+
+
+def coverage_stats(words: np.ndarray) -> dict[int, int]:
+    """Distinct chunks covered at 4/8/16/32/64-byte granularity.
+
+    Keys are chunk sizes in bytes; values are distinct chunk counts.
+    Used by the calibration tests to check Table-3-style ratios.
+    """
+    stats: dict[int, int] = {}
+    if words.size == 0:
+        return {size: 0 for size in (4, 8, 16, 32, 64)}
+    byte_addrs = words * WORD
+    for size in (4, 8, 16, 32, 64):
+        stats[size] = int(np.unique(byte_addrs // size).size)
+    return stats

@@ -1,0 +1,168 @@
+"""Crafting valid frames — the "remote sender" side of experiments.
+
+Tests, examples, and workload generators use these helpers to compose
+fully valid Ethernet/IP/TCP(UDP) frames, including a tiny client-side
+TCP sender that performs the handshake and streams data segments the
+receive stack will accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ProtocolError
+from . import ethernet
+from .ethernet import ETHERTYPE_IP, MacAddress
+from .ip import IPv4Address, IPv4Header, PROTO_TCP, PROTO_UDP
+from .tcp import FLAG_ACK, FLAG_FIN, FLAG_SYN, TcpHeader, seq_add
+from .udp import build_datagram as build_udp_datagram
+
+DEFAULT_SRC_MAC = MacAddress.parse("02:00:00:00:00:01")
+DEFAULT_DST_MAC = MacAddress.parse("02:00:00:00:00:02")
+
+
+def ip_frame(
+    src: str,
+    dst: str,
+    protocol: int,
+    payload: bytes,
+    src_mac: MacAddress = DEFAULT_SRC_MAC,
+    dst_mac: MacAddress = DEFAULT_DST_MAC,
+    ttl: int = 64,
+    identification: int = 0,
+) -> bytes:
+    """An Ethernet frame carrying one IPv4 datagram."""
+    src_addr = IPv4Address.parse(src)
+    dst_addr = IPv4Address.parse(dst)
+    header = IPv4Header(
+        src=src_addr,
+        dst=dst_addr,
+        protocol=protocol,
+        total_length=20 + len(payload),
+        ttl=ttl,
+        identification=identification,
+    )
+    datagram = header.serialize() + payload
+    return ethernet.frame(dst_mac, src_mac, ETHERTYPE_IP, datagram)
+
+
+def udp_frame(
+    src: str, dst: str, src_port: int, dst_port: int, payload: bytes
+) -> bytes:
+    """A complete UDP-in-IP-in-Ethernet frame with valid checksums."""
+    datagram = build_udp_datagram(
+        src_port,
+        dst_port,
+        payload,
+        src=IPv4Address.parse(src),
+        dst=IPv4Address.parse(dst),
+    )
+    return ip_frame(src, dst, PROTO_UDP, datagram)
+
+
+@dataclass
+class TcpSender:
+    """A minimal client-side TCP: handshake, data, teardown.
+
+    Produces frames the :class:`~repro.protocols.stack.TcpReceiveStack`
+    accepts; consumes the receiver's emitted headers to advance its own
+    state.  Not a full TCP — just enough to be a real conversation
+    partner for receive-side experiments.
+    """
+
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    iss: int = 0x5000
+    snd_nxt: int = field(init=False)
+    rcv_nxt: int = field(init=False, default=0)
+    established: bool = field(init=False, default=False)
+    _ident: int = field(init=False, default=1)
+
+    def __post_init__(self) -> None:
+        self.snd_nxt = self.iss
+
+    # ------------------------------------------------------------------
+    def _segment_frame(self, header: TcpHeader, payload: bytes = b"") -> bytes:
+        segment = header.serialize(
+            payload,
+            src=IPv4Address.parse(self.src),
+            dst=IPv4Address.parse(self.dst),
+        )
+        frame = ip_frame(
+            self.src, self.dst, PROTO_TCP, segment, identification=self._ident
+        )
+        self._ident += 1
+        return frame
+
+    def syn(self) -> bytes:
+        """The opening SYN."""
+        header = TcpHeader(
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.snd_nxt,
+            ack=0,
+            flags=FLAG_SYN,
+        )
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        return self._segment_frame(header)
+
+    def complete_handshake(self, synack: TcpHeader) -> bytes:
+        """Consume the receiver's SYN-ACK; produce the final ACK."""
+        if not (synack.flags & FLAG_SYN and synack.flags & FLAG_ACK):
+            raise ProtocolError("expected a SYN-ACK to complete the handshake")
+        if synack.ack != self.snd_nxt:
+            raise ProtocolError(
+                f"SYN-ACK acknowledges {synack.ack:#x}, expected {self.snd_nxt:#x}"
+            )
+        self.rcv_nxt = seq_add(synack.seq, 1)
+        self.established = True
+        header = TcpHeader(
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.snd_nxt,
+            ack=self.rcv_nxt,
+            flags=FLAG_ACK,
+        )
+        return self._segment_frame(header)
+
+    def data(self, payload: bytes, push: bool = False) -> bytes:
+        """A data segment at the current send sequence."""
+        if not self.established:
+            raise ProtocolError("cannot send data before the handshake completes")
+        flags = FLAG_ACK | (0x08 if push else 0)
+        header = TcpHeader(
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.snd_nxt,
+            ack=self.rcv_nxt,
+            flags=flags,
+        )
+        self.snd_nxt = seq_add(self.snd_nxt, len(payload))
+        return self._segment_frame(header, payload)
+
+    def fin(self) -> bytes:
+        """Start teardown."""
+        header = TcpHeader(
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.snd_nxt,
+            ack=self.rcv_nxt,
+            flags=FLAG_FIN | FLAG_ACK,
+        )
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        return self._segment_frame(header)
+
+    def ack_of(self, header: TcpHeader) -> bytes:
+        """Acknowledge a receiver segment (e.g. its FIN-ACK)."""
+        advance = 1 if header.flags & (FLAG_FIN | FLAG_SYN) else 0
+        self.rcv_nxt = seq_add(header.seq, advance)
+        ack = TcpHeader(
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.snd_nxt,
+            ack=self.rcv_nxt,
+            flags=FLAG_ACK,
+        )
+        return self._segment_frame(ack)

@@ -1,0 +1,102 @@
+"""Frame decoding: tcpdump-style one-line summaries.
+
+A diagnostic layer over the parsers: give it raw frame bytes, get a
+human-readable line per protocol level.  Used by the examples and handy
+when a test fails on a frame you cannot read.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProtocolError
+from . import ethernet
+from .ethernet import EthernetHeader
+from .icmp import IcmpMessage, IcmpType
+from .ip import IPv4Header, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .tcp import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    FLAG_URG,
+    TcpHeader,
+)
+from .udp import UdpHeader
+
+_FLAG_LETTERS = (
+    (FLAG_SYN, "S"),
+    (FLAG_FIN, "F"),
+    (FLAG_RST, "R"),
+    (FLAG_PSH, "P"),
+    (FLAG_URG, "U"),
+    (FLAG_ACK, "."),
+)
+
+
+def tcp_flags_text(flags: int) -> str:
+    """tcpdump-style flag string (``S``, ``.``, ``P.``, ``F.``...)."""
+    text = "".join(letter for bit, letter in _FLAG_LETTERS if flags & bit)
+    return text or "none"
+
+
+def decode_frame(frame: bytes) -> str:
+    """One-line summary of an Ethernet frame, best effort.
+
+    Never raises: undecodable frames return a note instead, so the
+    function is safe on hostile input.
+    """
+    try:
+        return _decode_frame_strict(frame)
+    except ProtocolError as exc:
+        return f"[undecodable frame: {exc} ({len(frame)} bytes)]"
+
+
+def _decode_frame_strict(frame: bytes) -> str:
+    eth = EthernetHeader.parse(frame)
+    if eth.ethertype != ethernet.ETHERTYPE_IP:
+        return (
+            f"{eth.src} > {eth.dst} ethertype {eth.ethertype:#06x} "
+            f"length {len(frame)}"
+        )
+    body = frame[ethernet.HEADER_LEN:]
+    ip = IPv4Header.parse(body[: min(len(body), 60)], verify=False)
+    payload = body[ip.header_length : ip.total_length]
+    base = f"{ip.src} > {ip.dst}"
+    if ip.is_fragment:
+        return (
+            f"{base}: frag id {ip.identification} offset {ip.fragment_offset} "
+            f"length {ip.payload_length}"
+        )
+    if ip.protocol == PROTO_TCP:
+        header, data = TcpHeader.parse(payload)
+        return (
+            f"{ip.src}.{header.src_port} > {ip.dst}.{header.dst_port}: "
+            f"Flags [{tcp_flags_text(header.flags)}], seq {header.seq}, "
+            f"ack {header.ack}, win {header.window}, length {len(data)}"
+        )
+    if ip.protocol == PROTO_UDP:
+        header, data = UdpHeader.parse(payload)
+        return (
+            f"{ip.src}.{header.src_port} > {ip.dst}.{header.dst_port}: "
+            f"UDP, length {len(data)}"
+        )
+    if ip.protocol == PROTO_ICMP:
+        icmp = IcmpMessage.parse(payload, verify=False)
+        kind = {
+            IcmpType.ECHO_REQUEST: "echo request",
+            IcmpType.ECHO_REPLY: "echo reply",
+            IcmpType.DEST_UNREACHABLE: "destination unreachable",
+            IcmpType.TIME_EXCEEDED: "time exceeded",
+        }.get(icmp.icmp_type, f"type {icmp.icmp_type}")
+        return (
+            f"{base}: ICMP {kind}, id {icmp.identifier}, seq {icmp.sequence}, "
+            f"length {len(payload)}"
+        )
+    return f"{base}: ip-proto-{ip.protocol} length {ip.payload_length}"
+
+
+def decode_frames(frames: list[bytes]) -> str:
+    """Multi-line decode of a frame list, numbered."""
+    return "\n".join(
+        f"{index:4d}  {decode_frame(frame)}" for index, frame in enumerate(frames)
+    )

@@ -1,0 +1,181 @@
+"""IPv4 fragmentation and reassembly.
+
+The traced path's fast case is "the message is addressed to the host
+and is not a fragment"; this module supplies the slow path so the
+substrate is complete: splitting outbound datagrams to an MTU and
+reassembling inbound fragments (offset map with overlap handling and a
+bounded fragment store, as ``ip_reass`` keeps a bounded queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ProtocolError
+from .ip import FLAG_MF, IPv4Header
+
+#: Fragment offsets are in units of 8 bytes.
+FRAGMENT_UNIT = 8
+
+
+def fragment_datagram(
+    header: IPv4Header, payload: bytes, mtu: int
+) -> list[bytes]:
+    """Split one datagram into wire-ready fragments that fit ``mtu``.
+
+    Returns serialized datagrams.  A payload that already fits yields a
+    single unfragmented datagram; the DF flag raises instead of
+    fragmenting, as a router must.
+    """
+    header_len = header.header_length
+    if mtu < header_len + FRAGMENT_UNIT:
+        raise ProtocolError(f"MTU {mtu} cannot carry any payload")
+    if header_len + len(payload) <= mtu:
+        whole = replace(header, total_length=header_len + len(payload))
+        return [whole.serialize() + payload]
+    if header.dont_fragment:
+        raise ProtocolError("datagram needs fragmentation but DF is set")
+    chunk = (mtu - header_len) // FRAGMENT_UNIT * FRAGMENT_UNIT
+    fragments: list[bytes] = []
+    offset = 0
+    while offset < len(payload):
+        piece = payload[offset : offset + chunk]
+        last = offset + len(piece) >= len(payload)
+        frag_header = replace(
+            header,
+            total_length=header_len + len(piece),
+            flags=(header.flags & ~FLAG_MF) | (0 if last else FLAG_MF),
+            fragment_offset=header.fragment_offset + offset,
+        )
+        fragments.append(frag_header.serialize() + piece)
+        offset += len(piece)
+    return fragments
+
+
+#: Reassembly key: (src, dst, protocol, identification).
+ReassemblyKey = tuple[str, str, int, int]
+
+
+@dataclass
+class _PartialDatagram:
+    """Fragments collected so far for one datagram."""
+
+    pieces: dict[int, bytes] = field(default_factory=dict)  # offset -> bytes
+    total_length: int | None = None  # payload length, known at last frag
+    first_header: IPv4Header | None = None
+    bytes_held: int = 0
+
+    def add(self, header: IPv4Header, payload: bytes) -> None:
+        offset = header.fragment_offset
+        if offset % FRAGMENT_UNIT and header.flags & FLAG_MF:
+            raise ProtocolError("non-final fragment with misaligned offset")
+        if not header.flags & FLAG_MF:
+            end = offset + len(payload)
+            if self.total_length is not None and self.total_length != end:
+                raise ProtocolError("conflicting datagram lengths")
+            self.total_length = end
+        if offset == 0:
+            self.first_header = header
+        previous = self.pieces.get(offset)
+        if previous is None or len(payload) > len(previous):
+            if previous is not None:
+                self.bytes_held -= len(previous)
+            self.pieces[offset] = payload
+            self.bytes_held += len(payload)
+
+    def try_assemble(self) -> bytes | None:
+        """Return the full payload if every hole is filled."""
+        if self.total_length is None or self.first_header is None:
+            return None
+        out = bytearray(self.total_length)
+        covered = 0
+        position = 0
+        for offset in sorted(self.pieces):
+            piece = self.pieces[offset]
+            if offset > position:
+                return None  # hole
+            usable = piece[max(0, position - offset):]
+            end = min(offset + len(piece), self.total_length)
+            if end <= position:
+                continue  # fully-overlapped duplicate
+            out[position:end] = usable[: end - position]
+            covered += end - position
+            position = end
+        if position < self.total_length:
+            return None
+        return bytes(out)
+
+
+class Reassembler:
+    """Bounded IPv4 reassembly queue.
+
+    Parameters
+    ----------
+    max_datagrams:
+        Concurrent partial datagrams held; the oldest is evicted when a
+        new key arrives at the limit (memory pressure behaviour).
+    max_bytes_per_datagram:
+        A cap against fragment floods.
+    """
+
+    def __init__(
+        self, max_datagrams: int = 16, max_bytes_per_datagram: int = 65535
+    ) -> None:
+        if max_datagrams <= 0:
+            raise ProtocolError("reassembler needs capacity for one datagram")
+        self.max_datagrams = max_datagrams
+        self.max_bytes = max_bytes_per_datagram
+        self._partials: dict[ReassemblyKey, _PartialDatagram] = {}
+        self.completed = 0
+        self.evicted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._partials)
+
+    @staticmethod
+    def key_of(header: IPv4Header) -> ReassemblyKey:
+        return (
+            str(header.src),
+            str(header.dst),
+            header.protocol,
+            header.identification,
+        )
+
+    def accept(
+        self, header: IPv4Header, payload: bytes
+    ) -> tuple[IPv4Header, bytes] | None:
+        """Feed one fragment; returns (header, payload) when complete."""
+        key = self.key_of(header)
+        partial = self._partials.get(key)
+        if partial is None:
+            if len(self._partials) >= self.max_datagrams:
+                oldest = next(iter(self._partials))
+                del self._partials[oldest]
+                self.evicted += 1
+            partial = _PartialDatagram()
+            self._partials[key] = partial
+        if partial.bytes_held + len(payload) > self.max_bytes:
+            del self._partials[key]
+            self.rejected += 1
+            return None
+        try:
+            partial.add(header, payload)
+        except ProtocolError:
+            del self._partials[key]
+            self.rejected += 1
+            return None
+        assembled = partial.try_assemble()
+        if assembled is None:
+            return None
+        del self._partials[key]
+        self.completed += 1
+        base = partial.first_header
+        assert base is not None
+        whole = replace(
+            base,
+            total_length=base.header_length + len(assembled),
+            flags=base.flags & ~FLAG_MF,
+            fragment_offset=0,
+        )
+        return whole, assembled

@@ -1,0 +1,170 @@
+"""IPv4: header parse/serialize, checksum, fragmentation checks.
+
+Implements the receive-side work ``ipintr`` does in the traced path:
+validate version/length/checksum, check the destination, detect
+fragments, and dispatch on protocol.  Options are carried opaquely.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import ChecksumError, ProtocolError
+from .checksum import internet_checksum
+
+MIN_HEADER_LEN = 20
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_FIXED = struct.Struct("!BBHHHBBH4s4s")
+
+#: Flags field bits (in the flags/fragment-offset word).
+FLAG_DF = 0x4000
+FLAG_MF = 0x2000
+OFFSET_MASK = 0x1FFF
+
+
+@dataclass(frozen=True)
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    octets: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.octets) != 4:
+            raise ProtocolError(f"IPv4 address needs 4 octets, got {len(self.octets)}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ProtocolError(f"malformed IPv4 address {text!r}")
+        try:
+            octets = bytes(int(part) for part in parts)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed IPv4 address {text!r}") from exc
+        return cls(octets)
+
+    def __str__(self) -> str:
+        return ".".join(str(octet) for octet in self.octets)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.octets == b"\xff\xff\xff\xff"
+
+    @property
+    def is_multicast(self) -> bool:
+        return 224 <= self.octets[0] <= 239
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """A parsed IPv4 header."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    protocol: int
+    total_length: int
+    identification: int = 0
+    ttl: int = 64
+    tos: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+    options: bytes = b""
+
+    @property
+    def header_length(self) -> int:
+        return MIN_HEADER_LEN + len(self.options)
+
+    @property
+    def payload_length(self) -> int:
+        return self.total_length - self.header_length
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for any fragment (MF set, or nonzero offset)."""
+        return bool(self.flags & FLAG_MF) or self.fragment_offset != 0
+
+    @property
+    def dont_fragment(self) -> bool:
+        return bool(self.flags & FLAG_DF)
+
+    @classmethod
+    def parse(cls, data: bytes | memoryview, verify: bool = True) -> "IPv4Header":
+        data = bytes(data)
+        if len(data) < MIN_HEADER_LEN:
+            raise ProtocolError(f"IPv4 header needs 20 bytes, got {len(data)}")
+        (vhl, tos, total_length, identification, frag_word, ttl, protocol,
+         checksum, src, dst) = _FIXED.unpack_from(data)
+        version = vhl >> 4
+        if version != 4:
+            raise ProtocolError(f"IP version {version} is not 4")
+        ihl = (vhl & 0x0F) * 4
+        if ihl < MIN_HEADER_LEN:
+            raise ProtocolError(f"IHL {ihl} below minimum header length")
+        if len(data) < ihl:
+            raise ProtocolError(f"truncated IPv4 header: need {ihl}, got {len(data)}")
+        if total_length < ihl:
+            raise ProtocolError(
+                f"total length {total_length} below header length {ihl}"
+            )
+        if verify and internet_checksum(data[:ihl]) != 0:
+            raise ChecksumError("IPv4 header checksum failed")
+        options = data[MIN_HEADER_LEN:ihl]
+        return cls(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            protocol=protocol,
+            total_length=total_length,
+            identification=identification,
+            ttl=ttl,
+            tos=tos,
+            flags=frag_word & ~OFFSET_MASK,
+            fragment_offset=(frag_word & OFFSET_MASK) * 8,
+            options=options,
+        )
+
+    def serialize(self) -> bytes:
+        """Serialize with a correct header checksum."""
+        if len(self.options) % 4:
+            raise ProtocolError("IPv4 options must be padded to 32-bit words")
+        if self.fragment_offset % 8:
+            raise ProtocolError("fragment offset must be a multiple of 8")
+        ihl = self.header_length // 4
+        frag_word = (self.flags & ~OFFSET_MASK) | (self.fragment_offset // 8)
+        without_checksum = _FIXED.pack(
+            (4 << 4) | ihl,
+            self.tos,
+            self.total_length,
+            self.identification,
+            frag_word,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src.octets,
+            self.dst.octets,
+        ) + self.options
+        checksum = internet_checksum(without_checksum)
+        return (
+            without_checksum[:10]
+            + struct.pack("!H", checksum)
+            + without_checksum[12:]
+        )
+
+
+def build_datagram(header_fields: IPv4Header, payload: bytes) -> bytes:
+    """Serialize a full datagram, fixing up ``total_length``."""
+    from dataclasses import replace
+
+    header = replace(
+        header_fields,
+        total_length=header_fields.header_length + len(payload),
+    )
+    return header.serialize() + payload
+
+
+def pseudo_header(src: IPv4Address, dst: IPv4Address, protocol: int, length: int) -> bytes:
+    """The TCP/UDP checksum pseudo-header."""
+    return src.octets + dst.octets + struct.pack("!BBH", 0, protocol, length)

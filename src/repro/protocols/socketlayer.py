@@ -1,0 +1,98 @@
+"""The socket layer: receive buffers and process wakeup.
+
+Models the pieces of ``soreceive``/``sbappend`` the traced path
+exercises: a bounded socket receive buffer built from mbuf chains, a
+sleeping reader, and wakeup notification.  Flow control mirrors
+``sbspace``: appends beyond the high-water mark are rejected, which is
+what TCP's advertised window would normally prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..buffers.mbuf import MbufChain
+from ..errors import ProtocolError
+
+
+@dataclass
+class SocketBufferStats:
+    appends: int = 0
+    rejected: int = 0
+    wakeups: int = 0
+    reads: int = 0
+
+
+class SocketBuffer:
+    """A socket receive buffer (``so_rcv``).
+
+    Parameters
+    ----------
+    hiwat:
+        High-water mark in bytes; appends that would exceed it fail
+        (the caller counts the drop, as TCP would have shrunk the
+        window to prevent it).
+    """
+
+    def __init__(self, hiwat: int = 65536) -> None:
+        if hiwat <= 0:
+            raise ProtocolError(f"high-water mark must be positive, got {hiwat}")
+        self.hiwat = hiwat
+        self.chain = MbufChain()
+        self.stats = SocketBufferStats()
+        self._waiter: Callable[[], None] | None = None
+
+    def __len__(self) -> int:
+        return len(self.chain)
+
+    @property
+    def space(self) -> int:
+        """Free space before the high-water mark (``sbspace``)."""
+        return self.hiwat - len(self.chain)
+
+    def append(self, data: MbufChain | bytes) -> bool:
+        """``sbappend``: queue received data; False when out of space."""
+        chain = (
+            data if isinstance(data, MbufChain) else MbufChain.from_bytes(data, 0)
+        )
+        if len(chain) > self.space:
+            self.stats.rejected += 1
+            return False
+        self.chain.append_chain(chain)
+        self.stats.appends += 1
+        self._wakeup()
+        return True
+
+    def read(self, count: int | None = None) -> bytes:
+        """``soreceive``: remove up to ``count`` bytes (all when None)."""
+        available = len(self.chain)
+        take = available if count is None else min(count, available)
+        self.stats.reads += 1
+        return self.chain.strip(take)
+
+    # ------------------------------------------------------------------
+    # Sleep/wakeup
+
+    def set_waiter(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot wakeup callback (``sbwait``)."""
+        self._waiter = callback
+
+    def _wakeup(self) -> None:
+        """``sowakeup``: notify and clear the waiter."""
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            self.stats.wakeups += 1
+            waiter()
+
+
+@dataclass
+class Socket:
+    """A minimal socket: a receive buffer plus identity."""
+
+    local_addr: str
+    local_port: int
+    receive_buffer: SocketBuffer = field(default_factory=SocketBuffer)
+
+    def readable(self) -> bool:
+        return len(self.receive_buffer) > 0

@@ -1,0 +1,464 @@
+"""A compact, real TCP: segments, PCBs, and receive-side processing.
+
+Implements enough of TCP to run the paper's traced scenario for real —
+passive open, the established-state receive fastpath with header
+prediction, delayed ACKs ("this TCP implementation sends an ACK for
+every second data packet"), out-of-order buffering, and teardown — plus
+the single-entry PCB cache whose hit the trace narrative mentions.
+
+Sequence numbers use full mod-2^32 arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import ChecksumError, ProtocolError
+from .checksum import internet_checksum
+from .ip import IPv4Address, pseudo_header
+
+HEADER_LEN = 20
+_FIXED = struct.Struct("!HHIIBBHHH")
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+SEQ_MOD = 1 << 32
+DEFAULT_WINDOW = 16384
+DEFAULT_MSS = 1460
+
+
+def seq_add(a: int, b: int) -> int:
+    return (a + b) % SEQ_MOD
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Signed distance a - b in sequence space."""
+    diff = (a - b) % SEQ_MOD
+    if diff >= SEQ_MOD // 2:
+        diff -= SEQ_MOD
+    return diff
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return seq_diff(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    return seq_diff(a, b) <= 0
+
+
+@dataclass(frozen=True)
+class TcpHeader:
+    """A parsed TCP header (options carried opaquely)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int = DEFAULT_WINDOW
+    urgent: int = 0
+    options: bytes = b""
+
+    @property
+    def header_length(self) -> int:
+        return HEADER_LEN + len(self.options)
+
+    def has(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    @classmethod
+    def parse(
+        cls,
+        data: bytes | memoryview,
+        src: IPv4Address | None = None,
+        dst: IPv4Address | None = None,
+        verify: bool = False,
+    ) -> tuple["TcpHeader", bytes]:
+        """Parse a TCP segment; returns (header, payload).
+
+        Checksum verification needs the IP pseudo-header, hence the
+        optional ``src``/``dst``.
+        """
+        data = bytes(data)
+        if len(data) < HEADER_LEN:
+            raise ProtocolError(f"TCP header needs 20 bytes, got {len(data)}")
+        (src_port, dst_port, seq, ack, offset_byte, flags, window, _checksum,
+         urgent) = _FIXED.unpack_from(data)
+        offset = (offset_byte >> 4) * 4
+        if offset < HEADER_LEN or offset > len(data):
+            raise ProtocolError(f"bad TCP data offset {offset}")
+        if verify:
+            if src is None or dst is None:
+                raise ProtocolError("checksum verification needs src/dst addresses")
+            from .ip import PROTO_TCP
+
+            pseudo = pseudo_header(src, dst, PROTO_TCP, len(data))
+            if internet_checksum(pseudo + data) != 0:
+                raise ChecksumError("TCP checksum failed")
+        header = cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            options=data[HEADER_LEN:offset],
+        )
+        return header, data[offset:]
+
+    def serialize(
+        self,
+        payload: bytes = b"",
+        src: IPv4Address | None = None,
+        dst: IPv4Address | None = None,
+    ) -> bytes:
+        """Serialize; fills in the checksum when addresses are given."""
+        if len(self.options) % 4:
+            raise ProtocolError("TCP options must be padded to 32-bit words")
+        offset = self.header_length // 4
+        base = _FIXED.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset << 4,
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        ) + self.options
+        segment = base + payload
+        if src is not None and dst is not None:
+            from .ip import PROTO_TCP
+
+            pseudo = pseudo_header(src, dst, PROTO_TCP, len(segment))
+            checksum = internet_checksum(pseudo + segment)
+            segment = segment[:16] + struct.pack("!H", checksum) + segment[18:]
+        return segment
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+
+#: Connection 4-tuple: (local addr, local port, remote addr, remote port).
+ConnKey = tuple[str, int, str, int]
+
+
+@dataclass
+class TcpStats:
+    """Receive-path counters (mirrors the tcpstat the kernel keeps)."""
+
+    segments_in: int = 0
+    fastpath_hits: int = 0
+    acks_sent: int = 0
+    delayed_acks: int = 0
+    out_of_order: int = 0
+    duplicates: int = 0
+    resets_sent: int = 0
+
+
+@dataclass
+class Pcb:
+    """A protocol control block: one connection's state."""
+
+    local_addr: IPv4Address
+    local_port: int
+    remote_addr: IPv4Address | None = None
+    remote_port: int | None = None
+    state: TcpState = TcpState.LISTEN
+    irs: int = 0  # initial receive sequence
+    iss: int = 0  # initial send sequence
+    rcv_nxt: int = 0
+    snd_nxt: int = 0
+    snd_una: int = 0
+    rcv_wnd: int = DEFAULT_WINDOW
+    #: Segments received since the last ACK (delayed-ACK counter).
+    unacked_segments: int = 0
+    #: Out-of-order segments keyed by sequence number.
+    reassembly: dict[int, bytes] = field(default_factory=dict)
+
+    @property
+    def key(self) -> ConnKey:
+        return (
+            str(self.local_addr),
+            self.local_port,
+            str(self.remote_addr) if self.remote_addr else "*",
+            self.remote_port if self.remote_port is not None else 0,
+        )
+
+
+class PcbTable:
+    """Connection lookup with the single-entry cache the trace mentions
+    ("the single-entry PCB cache hits")."""
+
+    def __init__(self) -> None:
+        self._table: dict[ConnKey, Pcb] = {}
+        self._listeners: dict[tuple[str, int], Pcb] = {}
+        self._last: Pcb | None = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def insert(self, pcb: Pcb) -> None:
+        if pcb.state is TcpState.LISTEN:
+            self._listeners[(str(pcb.local_addr), pcb.local_port)] = pcb
+        else:
+            self._table[pcb.key] = pcb
+
+    def remove(self, pcb: Pcb) -> None:
+        self._table.pop(pcb.key, None)
+        listener_key = (str(pcb.local_addr), pcb.local_port)
+        if self._listeners.get(listener_key) is pcb:
+            self._listeners.pop(listener_key)
+        if self._last is pcb:
+            self._last = None
+
+    def lookup(
+        self,
+        local_addr: IPv4Address,
+        local_port: int,
+        remote_addr: IPv4Address,
+        remote_port: int,
+    ) -> Pcb | None:
+        """Find the PCB for a segment; checks the one-entry cache first."""
+        key = (str(local_addr), local_port, str(remote_addr), remote_port)
+        last = self._last
+        if last is not None and last.key == key:
+            self.cache_hits += 1
+            return last
+        self.cache_misses += 1
+        pcb = self._table.get(key)
+        if pcb is None:
+            pcb = self._listeners.get((str(local_addr), local_port))
+        if pcb is not None and pcb.state is not TcpState.LISTEN:
+            self._last = pcb
+        return pcb
+
+    def __len__(self) -> int:
+        return len(self._table) + len(self._listeners)
+
+    def connections(self) -> list[Pcb]:
+        """All non-listener PCBs (snapshot)."""
+        return list(self._table.values())
+
+
+@dataclass
+class TcpResult:
+    """What one segment's processing produced."""
+
+    #: In-order payload bytes to append to the socket buffer.
+    delivered: bytes = b""
+    #: Segments to transmit (already serialized headers+payload).
+    emitted: list[TcpHeader] = field(default_factory=list)
+    #: True when the connection reached ESTABLISHED on this segment.
+    established: bool = False
+    #: True when the connection fully closed on this segment.
+    closed: bool = False
+
+
+class TcpReceiver:
+    """Receive-side TCP processing over a :class:`PcbTable`.
+
+    A deliberately compact ``tcp_input``: header prediction for the
+    common case, the RFC 793 state machine for the rest.
+    """
+
+    def __init__(self, table: PcbTable | None = None, ack_every: int = 2) -> None:
+        if ack_every < 1:
+            raise ProtocolError("ack_every must be at least 1")
+        # Not ``table or PcbTable()``: an empty table is falsy.
+        self.table = table if table is not None else PcbTable()
+        self.ack_every = ack_every
+        self.stats = TcpStats()
+
+    # ------------------------------------------------------------------
+    # Connection management
+
+    def listen(self, addr: IPv4Address, port: int) -> Pcb:
+        pcb = Pcb(local_addr=addr, local_port=port, state=TcpState.LISTEN)
+        self.table.insert(pcb)
+        return pcb
+
+    # ------------------------------------------------------------------
+    # Segment processing
+
+    def segment_arrives(
+        self,
+        header: TcpHeader,
+        payload: bytes,
+        src: IPv4Address,
+        dst: IPv4Address,
+    ) -> TcpResult:
+        """Process one segment addressed to this host."""
+        self.stats.segments_in += 1
+        pcb = self.table.lookup(dst, header.dst_port, src, header.src_port)
+        if pcb is None:
+            return self._reset_for(header)
+        if pcb.state is TcpState.LISTEN:
+            return self._listen_state(pcb, header, src)
+        if header.has(FLAG_RST):
+            self.table.remove(pcb)
+            pcb.state = TcpState.CLOSED
+            return TcpResult(closed=True)
+        if pcb.state is TcpState.SYN_RCVD:
+            return self._syn_rcvd_state(pcb, header)
+        return self._established_states(pcb, header, payload)
+
+    def _reset_for(self, header: TcpHeader) -> TcpResult:
+        """No PCB: answer with RST (unless the segment itself is RST)."""
+        if header.has(FLAG_RST):
+            return TcpResult()
+        self.stats.resets_sent += 1
+        rst = TcpHeader(
+            src_port=header.dst_port,
+            dst_port=header.src_port,
+            seq=header.ack if header.has(FLAG_ACK) else 0,
+            ack=seq_add(header.seq, 1),
+            flags=FLAG_RST | FLAG_ACK,
+            window=0,
+        )
+        return TcpResult(emitted=[rst])
+
+    def _listen_state(self, listener: Pcb, header: TcpHeader, src: IPv4Address) -> TcpResult:
+        if not header.has(FLAG_SYN) or header.has(FLAG_ACK):
+            return self._reset_for(header)
+        # Spawn a connection PCB; ISS derived deterministically for
+        # reproducible tests (a real stack randomizes).
+        conn = Pcb(
+            local_addr=listener.local_addr,
+            local_port=listener.local_port,
+            remote_addr=src,
+            remote_port=header.src_port,
+            state=TcpState.SYN_RCVD,
+            irs=header.seq,
+            rcv_nxt=seq_add(header.seq, 1),
+            iss=0x1000,
+            snd_nxt=0x1001,
+            snd_una=0x1000,
+        )
+        self.table.insert(conn)
+        self.stats.acks_sent += 1
+        synack = TcpHeader(
+            src_port=conn.local_port,
+            dst_port=conn.remote_port or 0,
+            seq=conn.iss,
+            ack=conn.rcv_nxt,
+            flags=FLAG_SYN | FLAG_ACK,
+            window=conn.rcv_wnd,
+        )
+        return TcpResult(emitted=[synack])
+
+    def _syn_rcvd_state(self, pcb: Pcb, header: TcpHeader) -> TcpResult:
+        if header.has(FLAG_ACK) and header.ack == pcb.snd_nxt:
+            pcb.state = TcpState.ESTABLISHED
+            pcb.snd_una = header.ack
+            return TcpResult(established=True)
+        return TcpResult()
+
+    def _established_states(
+        self, pcb: Pcb, header: TcpHeader, payload: bytes
+    ) -> TcpResult:
+        result = TcpResult()
+        if header.has(FLAG_ACK):
+            if seq_lt(pcb.snd_una, header.ack) and seq_le(header.ack, pcb.snd_nxt):
+                pcb.snd_una = header.ack
+            if pcb.state is TcpState.LAST_ACK and header.ack == pcb.snd_nxt:
+                pcb.state = TcpState.CLOSED
+                self.table.remove(pcb)
+                result.closed = True
+                return result
+
+        if payload:
+            self._receive_data(pcb, header, payload, result)
+        if header.has(FLAG_FIN) and header.seq == pcb.rcv_nxt and not payload:
+            self._receive_fin(pcb, result)
+        elif header.has(FLAG_FIN) and payload:
+            # FIN rides the last data segment; honour it only if the
+            # data landed in order.
+            if seq_add(header.seq, len(payload)) == pcb.rcv_nxt:
+                self._receive_fin(pcb, result)
+        return result
+
+    def _receive_data(
+        self, pcb: Pcb, header: TcpHeader, payload: bytes, result: TcpResult
+    ) -> None:
+        if header.seq == pcb.rcv_nxt and pcb.state is TcpState.ESTABLISHED:
+            # Header-prediction fastpath: next expected, established.
+            self.stats.fastpath_hits += 1
+            delivered = bytearray(payload)
+            pcb.rcv_nxt = seq_add(pcb.rcv_nxt, len(payload))
+            # Pull any contiguous out-of-order segments.
+            while pcb.rcv_nxt in pcb.reassembly:
+                chunk = pcb.reassembly.pop(pcb.rcv_nxt)
+                delivered += chunk
+                pcb.rcv_nxt = seq_add(pcb.rcv_nxt, len(chunk))
+            result.delivered = bytes(delivered)
+            pcb.unacked_segments += 1
+            if pcb.unacked_segments >= self.ack_every:
+                self._emit_ack(pcb, result)
+            else:
+                self.stats.delayed_acks += 1
+        elif seq_lt(header.seq, pcb.rcv_nxt):
+            # Old duplicate: re-ACK immediately.
+            self.stats.duplicates += 1
+            self._emit_ack(pcb, result)
+        else:
+            # Out of order: buffer and send a duplicate ACK.
+            self.stats.out_of_order += 1
+            pcb.reassembly.setdefault(header.seq, payload)
+            self._emit_ack(pcb, result)
+
+    def _receive_fin(self, pcb: Pcb, result: TcpResult) -> None:
+        pcb.rcv_nxt = seq_add(pcb.rcv_nxt, 1)
+        pcb.state = TcpState.LAST_ACK
+        fin_ack = TcpHeader(
+            src_port=pcb.local_port,
+            dst_port=pcb.remote_port or 0,
+            seq=pcb.snd_nxt,
+            ack=pcb.rcv_nxt,
+            flags=FLAG_FIN | FLAG_ACK,
+            window=pcb.rcv_wnd,
+        )
+        pcb.snd_nxt = seq_add(pcb.snd_nxt, 1)
+        self.stats.acks_sent += 1
+        result.emitted.append(fin_ack)
+
+    def _emit_ack(self, pcb: Pcb, result: TcpResult) -> None:
+        pcb.unacked_segments = 0
+        self.stats.acks_sent += 1
+        result.emitted.append(
+            TcpHeader(
+                src_port=pcb.local_port,
+                dst_port=pcb.remote_port or 0,
+                seq=pcb.snd_nxt,
+                ack=pcb.rcv_nxt,
+                flags=FLAG_ACK,
+                window=pcb.rcv_wnd,
+            )
+        )
+
+    def force_ack(self, pcb: Pcb) -> TcpHeader | None:
+        """Flush a pending delayed ACK (the fast-timer would do this)."""
+        if pcb.unacked_segments == 0:
+            return None
+        result = TcpResult()
+        self._emit_ack(pcb, result)
+        return result.emitted[0]

@@ -1,0 +1,224 @@
+"""The transmit side: socket send → TCP output → IP output → Ethernet.
+
+The paper concentrates on receive-side processing but notes "the
+techniques presented are also applicable to transmit-side processing".
+This module builds the downward path as schedulable layers — the same
+LDLP machinery runs unchanged, because a scheduler only sees an ordered
+list of layers.
+
+Layers (top first, since messages enter at the socket and exit at the
+wire): :class:`TcpOutputLayer` → :class:`IpOutputLayer` →
+:class:`EtherOutputLayer`.  The output of the bottom layer is a fully
+valid Ethernet frame; tests loop it straight back into the receive
+stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..buffers.mbuf import MbufChain
+from ..core.layer import Layer, LayerFootprint, Message
+from ..errors import ProtocolError
+from . import ethernet
+from .ethernet import ETHERTYPE_IP, MacAddress
+from .ip import IPv4Address, IPv4Header, PROTO_TCP
+from .tcp import DEFAULT_MSS, FLAG_ACK, FLAG_PSH, TcpHeader, seq_add
+
+#: Table-1-informed output footprints (tcp_output 4872 B, ip_output
+#: 5120 B, ether_output + lestart ≈ 5456 B of catalogued code).
+TCP_OUT_FOOTPRINT = LayerFootprint(
+    code_bytes=4872, data_bytes=512, base_cycles=450.0, per_byte_cycles=1.0
+)
+IP_OUT_FOOTPRINT = LayerFootprint(
+    code_bytes=5120, data_bytes=384, base_cycles=300.0, per_byte_cycles=0.0
+)
+ETHER_OUT_FOOTPRINT = LayerFootprint(
+    code_bytes=5456, data_bytes=512, base_cycles=350.0, per_byte_cycles=0.5
+)
+
+
+@dataclass
+class TransmitConnection:
+    """Sender-side connection state (the sending half of a PCB)."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    src_port: int
+    dst_port: int
+    snd_nxt: int = 0x7000
+    rcv_nxt: int = 0
+    mss: int = DEFAULT_MSS
+
+
+@dataclass
+class TransmitStats:
+    sends: int = 0
+    segments_out: int = 0
+    datagrams_out: int = 0
+    frames_out: int = 0
+    oversize_rejected: int = 0
+
+
+class TcpOutputLayer(Layer):
+    """``tcp_output``: segmentize application data onto a connection.
+
+    Input messages carry application payload bytes (or an
+    :class:`~repro.buffers.MbufChain`) plus ``meta['connection']``; the
+    layer cuts MSS-sized segments, stamps sequence numbers, and emits
+    one message per segment carrying a serialized TCP segment.
+    """
+
+    def __init__(self, stats: TransmitStats) -> None:
+        super().__init__("tcp-output", TCP_OUT_FOOTPRINT)
+        self.stats = stats
+
+    def deliver(self, message: Message) -> list[Message]:
+        connection: TransmitConnection = message.meta["connection"]
+        payload = message.payload
+        if isinstance(payload, MbufChain):
+            payload = bytes(payload)
+        self.stats.sends += 1
+        segments: list[Message] = []
+        offset = 0
+        while offset < len(payload) or not segments:
+            chunk = payload[offset : offset + connection.mss]
+            offset += len(chunk)
+            push = offset >= len(payload)
+            header = TcpHeader(
+                src_port=connection.src_port,
+                dst_port=connection.dst_port,
+                seq=connection.snd_nxt,
+                ack=connection.rcv_nxt,
+                flags=FLAG_ACK | (FLAG_PSH if push else 0),
+            )
+            connection.snd_nxt = seq_add(connection.snd_nxt, len(chunk))
+            wire = header.serialize(
+                chunk, src=connection.src, dst=connection.dst
+            )
+            segment = Message(payload=wire, size=len(wire))
+            segment.meta["connection"] = connection
+            segments.append(segment)
+            self.stats.segments_out += 1
+            if offset >= len(payload):
+                break
+        return segments
+
+
+class IpOutputLayer(Layer):
+    """``ip_output``: wrap each segment in an IPv4 header (checksummed)."""
+
+    def __init__(self, stats: TransmitStats, ttl: int = 64) -> None:
+        super().__init__("ip-output", IP_OUT_FOOTPRINT)
+        self.stats = stats
+        self.ttl = ttl
+        self._ident = itertools.count(1)
+
+    def deliver(self, message: Message) -> list[Message]:
+        connection: TransmitConnection = message.meta["connection"]
+        segment = message.payload
+        if isinstance(segment, MbufChain):
+            segment = bytes(segment)
+        header = IPv4Header(
+            src=connection.src,
+            dst=connection.dst,
+            protocol=PROTO_TCP,
+            total_length=20 + len(segment),
+            identification=next(self._ident) & 0xFFFF,
+            ttl=self.ttl,
+        )
+        message.payload = header.serialize() + segment
+        message.size = len(message.payload)
+        self.stats.datagrams_out += 1
+        return [message]
+
+
+class EtherOutputLayer(Layer):
+    """``ether_output`` + driver: frame the datagram for the wire."""
+
+    def __init__(
+        self,
+        stats: TransmitStats,
+        src_mac: MacAddress,
+        dst_mac: MacAddress,
+        transmit=None,
+    ) -> None:
+        super().__init__("ether-output", ETHER_OUT_FOOTPRINT)
+        self.stats = stats
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.transmit = transmit or (lambda frame: None)
+
+    def deliver(self, message: Message) -> list[Message]:
+        datagram = message.payload
+        if isinstance(datagram, MbufChain):
+            datagram = bytes(datagram)
+        try:
+            frame = ethernet.frame(
+                self.dst_mac, self.src_mac, ETHERTYPE_IP, datagram
+            )
+        except ProtocolError:
+            self.stats.oversize_rejected += 1
+            return []
+        message.payload = frame
+        message.size = len(frame)
+        self.stats.frames_out += 1
+        self.transmit(frame)
+        return [message]
+
+
+@dataclass
+class TcpTransmitStack:
+    """A wired-up transmit path.
+
+    ``layers`` runs top (socket side) to bottom (wire side); ``wire``
+    collects emitted frames.
+    """
+
+    layers: list[Layer]
+    connection: TransmitConnection
+    stats: TransmitStats
+    wire: list[bytes]
+
+    def send(self, payload: bytes) -> Message:
+        """Package application bytes as an input message for the stack."""
+        message = Message(payload=payload, size=len(payload))
+        message.meta["connection"] = self.connection
+        return message
+
+
+def build_tcp_transmit_stack(
+    src: str = "10.0.0.9",
+    dst: str = "10.0.0.1",
+    src_port: int = 7777,
+    dst_port: int = 4000,
+    iss: int = 0x7000,
+    mss: int = DEFAULT_MSS,
+    src_mac: str = "02:00:00:00:00:01",
+    dst_mac: str = "02:00:00:00:00:02",
+) -> TcpTransmitStack:
+    """Build the TCP output → IP output → Ethernet output stack."""
+    stats = TransmitStats()
+    connection = TransmitConnection(
+        src=IPv4Address.parse(src),
+        dst=IPv4Address.parse(dst),
+        src_port=src_port,
+        dst_port=dst_port,
+        snd_nxt=iss,
+        mss=mss,
+    )
+    wire: list[bytes] = []
+    layers: list[Layer] = [
+        TcpOutputLayer(stats),
+        IpOutputLayer(stats),
+        EtherOutputLayer(
+            stats,
+            src_mac=MacAddress.parse(src_mac),
+            dst_mac=MacAddress.parse(dst_mac),
+            transmit=wire.append,
+        ),
+    ]
+    return TcpTransmitStack(
+        layers=layers, connection=connection, stats=stats, wire=wire
+    )

@@ -1,0 +1,74 @@
+"""UDP: header parse/serialize with optional checksum.
+
+Small-message protocols in the paper's sense — DNS, NFS control, and
+the signalling example — ride on UDP here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import ChecksumError, ProtocolError
+from .checksum import internet_checksum
+from .ip import IPv4Address, pseudo_header
+
+HEADER_LEN = 8
+_HEADER = struct.Struct("!HHHH")
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    """A parsed UDP header."""
+
+    src_port: int
+    dst_port: int
+    length: int
+
+    @classmethod
+    def parse(
+        cls,
+        data: bytes | memoryview,
+        src: IPv4Address | None = None,
+        dst: IPv4Address | None = None,
+        verify: bool = False,
+    ) -> tuple["UdpHeader", bytes]:
+        data = bytes(data)
+        if len(data) < HEADER_LEN:
+            raise ProtocolError(f"UDP header needs 8 bytes, got {len(data)}")
+        src_port, dst_port, length, checksum = _HEADER.unpack_from(data)
+        if length < HEADER_LEN or length > len(data):
+            raise ProtocolError(f"bad UDP length {length} (datagram {len(data)})")
+        if verify and checksum != 0:
+            if src is None or dst is None:
+                raise ProtocolError("checksum verification needs src/dst addresses")
+            from .ip import PROTO_UDP
+
+            pseudo = pseudo_header(src, dst, PROTO_UDP, length)
+            if internet_checksum(pseudo + data[:length]) != 0:
+                raise ChecksumError("UDP checksum failed")
+        header = cls(src_port=src_port, dst_port=dst_port, length=length)
+        return header, data[HEADER_LEN:length]
+
+
+def build_datagram(
+    src_port: int,
+    dst_port: int,
+    payload: bytes,
+    src: IPv4Address | None = None,
+    dst: IPv4Address | None = None,
+) -> bytes:
+    """Serialize a UDP datagram; checksummed when addresses are given."""
+    length = HEADER_LEN + len(payload)
+    if length > 0xFFFF:
+        raise ProtocolError(f"UDP datagram of {length} bytes exceeds 65535")
+    base = _HEADER.pack(src_port, dst_port, length, 0) + payload
+    if src is None or dst is None:
+        return base
+    from .ip import PROTO_UDP
+
+    pseudo = pseudo_header(src, dst, PROTO_UDP, length)
+    checksum = internet_checksum(pseudo + base)
+    if checksum == 0:
+        checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+    return base[:6] + struct.pack("!H", checksum) + base[8:]

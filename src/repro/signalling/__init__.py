@@ -1,0 +1,47 @@
+"""Mini-Q.93B signalling: the paper's motivating small-message workload."""
+
+from .q93b import (
+    DISCRIMINATOR,
+    InfoElement,
+    InfoElementId,
+    MessageType,
+    SignallingMessage,
+    connect,
+    release,
+    release_complete,
+    setup,
+)
+from .switch import (
+    CallControlLayer,
+    CallRecord,
+    CallState,
+    Q93bLayer,
+    SaalLayer,
+    SignallingSwitch,
+    SwitchStats,
+    build_switch,
+    saal_frame,
+    saal_unframe,
+)
+
+__all__ = [
+    "CallControlLayer",
+    "CallRecord",
+    "CallState",
+    "DISCRIMINATOR",
+    "InfoElement",
+    "InfoElementId",
+    "MessageType",
+    "Q93bLayer",
+    "SaalLayer",
+    "SignallingMessage",
+    "SignallingSwitch",
+    "SwitchStats",
+    "build_switch",
+    "connect",
+    "release",
+    "release_complete",
+    "saal_frame",
+    "saal_unframe",
+    "setup",
+]

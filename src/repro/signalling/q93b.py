@@ -1,0 +1,209 @@
+"""A miniature Q.93B-style signalling protocol.
+
+The paper's motivating workload is ATM connection setup: "Our
+performance goal is to support 10000 pairs of setup/teardown requests
+per second with processing latency of 100 microseconds for setup
+requests, using just a commodity workstation processor."
+
+This module implements a compact but real signalling wire protocol in
+the Q.93B mould: a protocol discriminator, a call reference, a message
+type, and TLV information elements — enough to exercise parse/validate/
+state-machine/respond small-message processing for real.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import SignallingError
+
+#: Q.93B protocol discriminator.
+DISCRIMINATOR = 0x09
+
+#: Header: discriminator (1), call-reference length (1, always 3 here),
+#: call reference (3), message type (1), message length (2).
+_HEADER = struct.Struct("!BB3sBH")
+HEADER_LEN = _HEADER.size
+
+MAX_CALL_REF = (1 << 23) - 1  # high bit of the 3-byte field is a flag
+
+
+class MessageType(enum.IntEnum):
+    """The connection-control message types we implement."""
+
+    SETUP = 0x05
+    CALL_PROCEEDING = 0x02
+    CONNECT = 0x07
+    CONNECT_ACK = 0x0F
+    RELEASE = 0x4D
+    RELEASE_COMPLETE = 0x5A
+    STATUS = 0x7D
+
+
+class InfoElementId(enum.IntEnum):
+    """Information-element identifiers (TLV tags)."""
+
+    CALLED_PARTY = 0x70
+    CALLING_PARTY = 0x6C
+    TRAFFIC_DESCRIPTOR = 0x59
+    QOS_PARAMETER = 0x5C
+    CONNECTION_ID = 0x5A
+    CAUSE = 0x08
+
+
+@dataclass(frozen=True)
+class InfoElement:
+    """One TLV information element."""
+
+    element_id: int
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.element_id <= 0xFF:
+            raise SignallingError(f"IE id {self.element_id:#x} out of range")
+        if len(self.value) > 0xFFFF:
+            raise SignallingError("IE value too long")
+
+    def serialize(self) -> bytes:
+        return struct.pack("!BH", self.element_id, len(self.value)) + self.value
+
+
+@dataclass(frozen=True)
+class SignallingMessage:
+    """A parsed signalling message."""
+
+    msg_type: MessageType
+    call_ref: int
+    #: True on messages sent *from* the side that allocated the call ref.
+    from_origin: bool = True
+    elements: tuple[InfoElement, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.call_ref <= MAX_CALL_REF:
+            raise SignallingError(f"call reference {self.call_ref} out of range")
+
+    def find(self, element_id: int) -> InfoElement | None:
+        for element in self.elements:
+            if element.element_id == element_id:
+                return element
+        return None
+
+    def require(self, element_id: int) -> InfoElement:
+        element = self.find(element_id)
+        if element is None:
+            raise SignallingError(
+                f"{self.msg_type.name} missing mandatory IE {element_id:#x}"
+            )
+        return element
+
+    def serialize(self) -> bytes:
+        body = b"".join(element.serialize() for element in self.elements)
+        ref = self.call_ref | (0 if self.from_origin else 1 << 23)
+        header = _HEADER.pack(
+            DISCRIMINATOR,
+            3,
+            ref.to_bytes(3, "big"),
+            int(self.msg_type),
+            len(body),
+        )
+        return header + body
+
+    @classmethod
+    def parse(cls, data: bytes | memoryview) -> "SignallingMessage":
+        data = bytes(data)
+        if len(data) < HEADER_LEN:
+            raise SignallingError(
+                f"message needs {HEADER_LEN} header bytes, got {len(data)}"
+            )
+        disc, ref_len, ref_bytes, msg_type, length = _HEADER.unpack_from(data)
+        if disc != DISCRIMINATOR:
+            raise SignallingError(f"bad protocol discriminator {disc:#04x}")
+        if ref_len != 3:
+            raise SignallingError(f"unsupported call-reference length {ref_len}")
+        if len(data) < HEADER_LEN + length:
+            raise SignallingError(
+                f"truncated message: body {length}, have {len(data) - HEADER_LEN}"
+            )
+        try:
+            parsed_type = MessageType(msg_type)
+        except ValueError as exc:
+            raise SignallingError(f"unknown message type {msg_type:#04x}") from exc
+        raw_ref = int.from_bytes(ref_bytes, "big")
+        elements = cls._parse_elements(data[HEADER_LEN : HEADER_LEN + length])
+        return cls(
+            msg_type=parsed_type,
+            call_ref=raw_ref & MAX_CALL_REF,
+            from_origin=not bool(raw_ref >> 23),
+            elements=elements,
+        )
+
+    @staticmethod
+    def _parse_elements(body: bytes) -> tuple[InfoElement, ...]:
+        elements: list[InfoElement] = []
+        offset = 0
+        while offset < len(body):
+            if offset + 3 > len(body):
+                raise SignallingError("truncated information element header")
+            element_id, length = struct.unpack_from("!BH", body, offset)
+            offset += 3
+            if offset + length > len(body):
+                raise SignallingError("truncated information element value")
+            elements.append(InfoElement(element_id, body[offset : offset + length]))
+            offset += length
+        return tuple(elements)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors for the common messages
+
+
+def setup(
+    call_ref: int,
+    called_party: str,
+    calling_party: str = "",
+    peak_cell_rate: int = 1000,
+) -> SignallingMessage:
+    """A SETUP request."""
+    elements = [
+        InfoElement(InfoElementId.CALLED_PARTY, called_party.encode("ascii")),
+        InfoElement(
+            InfoElementId.TRAFFIC_DESCRIPTOR, struct.pack("!I", peak_cell_rate)
+        ),
+    ]
+    if calling_party:
+        elements.append(
+            InfoElement(InfoElementId.CALLING_PARTY, calling_party.encode("ascii"))
+        )
+    return SignallingMessage(MessageType.SETUP, call_ref, elements=tuple(elements))
+
+
+def connect(call_ref: int, vpi: int, vci: int) -> SignallingMessage:
+    """A CONNECT response carrying the allocated VPI/VCI."""
+    return SignallingMessage(
+        MessageType.CONNECT,
+        call_ref,
+        from_origin=False,
+        elements=(
+            InfoElement(InfoElementId.CONNECTION_ID, struct.pack("!HH", vpi, vci)),
+        ),
+    )
+
+
+def release(call_ref: int, cause: int = 16) -> SignallingMessage:
+    """A RELEASE request (cause 16 = normal clearing)."""
+    return SignallingMessage(
+        MessageType.RELEASE,
+        call_ref,
+        elements=(InfoElement(InfoElementId.CAUSE, struct.pack("!B", cause)),),
+    )
+
+
+def release_complete(call_ref: int, cause: int = 16) -> SignallingMessage:
+    return SignallingMessage(
+        MessageType.RELEASE_COMPLETE,
+        call_ref,
+        from_origin=False,
+        elements=(InfoElement(InfoElementId.CAUSE, struct.pack("!B", cause)),),
+    )

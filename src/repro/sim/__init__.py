@@ -1,0 +1,45 @@
+"""Discrete-event simulation: engine, queues, statistics, and the
+Section-4 synthetic benchmark runner."""
+
+from .engine import Simulator
+from .events import Event, EventQueue
+from .queues import BoundedQueue
+from .runner import (
+    ComparisonResult,
+    DriveStats,
+    drive,
+    SCHEDULER_NAMES,
+    SimulationConfig,
+    build_paper_stack,
+    compare_schedulers,
+    run_averaged,
+    run_simulation,
+)
+from .stats import (
+    LatencyRecorder,
+    LatencySummary,
+    MissesPerMessage,
+    RunResult,
+    merge_results,
+)
+
+__all__ = [
+    "BoundedQueue",
+    "DriveStats",
+    "drive",
+    "ComparisonResult",
+    "Event",
+    "EventQueue",
+    "LatencyRecorder",
+    "LatencySummary",
+    "MissesPerMessage",
+    "RunResult",
+    "SCHEDULER_NAMES",
+    "SimulationConfig",
+    "Simulator",
+    "build_paper_stack",
+    "compare_schedulers",
+    "merge_results",
+    "run_averaged",
+    "run_simulation",
+]

@@ -1,0 +1,67 @@
+"""A minimal discrete-event simulation engine.
+
+Used by the signalling-switch example and available as a general
+substrate; the Figure 5-7 runner drives the CPU clock directly (the CPU
+*is* the clock there) but shares the same statistics types.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SimulationError
+from .events import Event, EventQueue, Handler
+
+
+class Simulator:
+    """An event loop with a monotone clock."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._running = False
+
+    def schedule(self, delay: float, handler: Handler, payload: Any = None) -> Event:
+        """Schedule ``handler(payload)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.now + delay, handler, payload)
+
+    def schedule_at(self, time: float, handler: Handler, payload: Any = None) -> Event:
+        """Schedule ``handler(payload)`` at absolute ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
+        return self.queue.push(time, handler, payload)
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self.queue.pop()
+                self.now = event.time
+                event.handler(event.payload)
+        finally:
+            self._running = False
+        return self.now
+
+    def step(self) -> bool:
+        """Run a single event; returns False when the queue is empty."""
+        next_time = self.queue.peek_time()
+        if next_time is None:
+            return False
+        event = self.queue.pop()
+        self.now = event.time
+        event.handler(event.payload)
+        return True

@@ -1,0 +1,62 @@
+"""Discrete-event primitives: timestamped events in a priority queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+#: An event handler receives the simulator and the event payload.
+Handler = Callable[[Any], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence.
+
+    Ordering is (time, sequence): ties break in scheduling order, which
+    keeps runs deterministic.
+    """
+
+    time: float
+    seq: int
+    handler: Handler = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """A time-ordered queue of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, handler: Handler, payload: Any = None) -> Event:
+        if time < 0:
+            raise SimulationError(f"cannot schedule at negative time {time}")
+        event = Event(time, next(self._counter), handler, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @staticmethod
+    def cancel(event: Event) -> None:
+        event.cancelled = True

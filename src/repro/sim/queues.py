@@ -1,0 +1,52 @@
+"""Bounded FIFO queue with drop accounting (shared by switch models)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with a capacity limit; offers beyond capacity are dropped.
+
+    The paper's simulations bound buffering at 500 packets; the drop
+    counter is what turns overload into loss instead of unbounded delay.
+    """
+
+    def __init__(self, capacity: int = 500) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"queue capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.drops = 0
+        self.offered = 0
+        self.peak_depth = 0
+        self._items: deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def offer(self, item: T) -> bool:
+        """Enqueue if there is room; count a drop otherwise."""
+        self.offered += 1
+        if len(self._items) >= self.capacity:
+            self.drops += 1
+            return False
+        self._items.append(item)
+        self.peak_depth = max(self.peak_depth, len(self._items))
+        return True
+
+    def take(self) -> T:
+        """Dequeue the oldest item (raises IndexError when empty)."""
+        return self._items.popleft()
+
+    def drain(self, limit: int | None = None) -> list[T]:
+        """Remove and return up to ``limit`` items (all when None)."""
+        count = len(self._items) if limit is None else min(limit, len(self._items))
+        return [self._items.popleft() for _ in range(count)]

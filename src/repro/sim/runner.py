@@ -1,0 +1,295 @@
+"""The Section-4 synthetic benchmark: traffic → stack → scheduler → stats.
+
+This is the harness behind Figures 5, 6 and 7.  The CPU is the clock:
+arrivals are converted to cycle timestamps, the scheduler consumes work
+and advances the CPU, and message latency is completion cycle minus
+arrival cycle.
+
+Paper parameters (all defaults here): five layers of 6 KB code / 256 B
+data / 1652 cycles per 552-byte message; 100 MHz CPU; 8 KB direct-mapped
+I and D caches; 20-cycle read-miss stall; 500-packet input buffer;
+results averaged over runs with different random code placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..cache.hierarchy import MachineSpec
+from ..core.batching import BatchPolicy
+from ..core.binding import MachineBinding
+from ..core.layer import Layer, LayerFootprint, Message, PassthroughLayer
+from ..core.scheduler import (
+    ConventionalScheduler,
+    GroupedLDLPScheduler,
+    ILPScheduler,
+    LDLPScheduler,
+    Scheduler,
+)
+from ..errors import ConfigurationError
+from ..traffic.base import Arrival, TrafficSource
+from ..traffic.poisson import PoissonSource
+from .stats import (
+    LatencyRecorder,
+    MissesPerMessage,
+    RunResult,
+    merge_results,
+)
+
+#: Scheduler registry keyed by the names used throughout the experiments.
+SCHEDULER_NAMES = ("conventional", "ilp", "ldlp", "grouped")
+
+
+def build_paper_stack(
+    num_layers: int = 5,
+    code_bytes: int = 6144,
+    data_bytes: int = 256,
+    base_cycles: float = 1376.0,
+    per_byte_cycles: float = 0.5,
+) -> list[Layer]:
+    """The five synthetic layers of Section 4 (passthrough, full cost)."""
+    footprint = LayerFootprint(
+        code_bytes=code_bytes,
+        data_bytes=data_bytes,
+        base_cycles=base_cycles,
+        per_byte_cycles=per_byte_cycles,
+    )
+    return [PassthroughLayer(f"layer{i}", footprint) for i in range(num_layers)]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of one synthetic-benchmark run."""
+
+    scheduler: str = "ldlp"
+    num_layers: int = 5
+    layer_code_bytes: int = 6144
+    layer_data_bytes: int = 256
+    layer_base_cycles: float = 1376.0
+    layer_per_byte_cycles: float = 0.5
+    spec: MachineSpec = field(default_factory=MachineSpec)
+    duration: float = 0.2
+    input_limit: int = 500
+    batch_limit: int | None = None
+    pool_buffers: int = 32
+    buffer_size: int = 2048
+    random_placement: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r}; expected one of "
+                f"{SCHEDULER_NAMES}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+
+    def with_scheduler(self, scheduler: str) -> "SimulationConfig":
+        return replace(self, scheduler=scheduler)
+
+
+def _build_scheduler(config: SimulationConfig, seed) -> Scheduler:
+    layers = build_paper_stack(
+        config.num_layers,
+        config.layer_code_bytes,
+        config.layer_data_bytes,
+        config.layer_base_cycles,
+        config.layer_per_byte_cycles,
+    )
+    binding = MachineBinding(
+        spec=config.spec,
+        rng=seed,
+        random_placement=config.random_placement,
+        pool_buffers=config.pool_buffers,
+        buffer_size=config.buffer_size,
+    )
+    if config.scheduler == "conventional":
+        return ConventionalScheduler(layers, binding, config.input_limit)
+    if config.scheduler == "ilp":
+        return ILPScheduler(layers, binding, config.input_limit)
+    policy = (
+        BatchPolicy(config.batch_limit)
+        if config.batch_limit is not None
+        else BatchPolicy.from_machine(config.spec)
+    )
+    if config.scheduler == "grouped":
+        return GroupedLDLPScheduler(layers, binding, config.input_limit, policy)
+    return LDLPScheduler(layers, binding, config.input_limit, policy)
+
+
+@dataclass
+class DriveStats:
+    """Raw outcome of :func:`drive`: latency samples plus work done."""
+
+    latency: LatencyRecorder
+    completed: int
+    service_cycles: float
+
+
+def drive(
+    scheduler: Scheduler,
+    arrivals: list[tuple[float, Message]],
+) -> DriveStats:
+    """Drive any bound scheduler with timestamped messages.
+
+    The scheduler's CPU is the clock: messages whose arrival time (in
+    seconds) has passed are admitted before each service step, and each
+    completion's latency is measured in CPU cycles.  Works for any
+    stack — the synthetic five-layer benchmark, the byte-level TCP
+    stack, or the signalling switch — as long as the scheduler carries
+    a :class:`~repro.core.binding.MachineBinding`.
+    """
+    binding = scheduler.binding
+    if binding is None:
+        raise ConfigurationError("drive() needs a machine-bound scheduler")
+    cpu = binding.cpu
+    clock = cpu.clock
+    pending = [
+        (clock.seconds_to_cycles(time), message) for time, message in arrivals
+    ]
+    latency = LatencyRecorder()
+    index = 0
+    completed = 0
+    service_cycles = 0.0
+    while index < len(pending) or scheduler.busy:
+        if not scheduler.busy:
+            if index >= len(pending):
+                break
+            cpu.advance_to_cycle(pending[index][0])
+        while index < len(pending) and pending[index][0] <= cpu.cycles:
+            cycle, message = pending[index]
+            message.meta["arrival_cycle"] = cycle
+            scheduler.enqueue_arrival(message)
+            index += 1
+        if scheduler.busy:
+            before = cpu.cycles
+            for completion in scheduler.service_step():
+                arrival_cycle = completion.message.meta.get("arrival_cycle")
+                if arrival_cycle is None:
+                    continue
+                completed += 1
+                latency.record(
+                    clock.cycles_to_seconds(
+                        completion.completion_cycle - arrival_cycle
+                    )
+                )
+            service_cycles += cpu.cycles - before
+    return DriveStats(
+        latency=latency, completed=completed, service_cycles=service_cycles
+    )
+
+
+def run_simulation(
+    source: TrafficSource,
+    config: SimulationConfig | None = None,
+    seed: int | np.random.Generator | None = 0,
+    arrivals: list[Arrival] | None = None,
+) -> RunResult:
+    """Run one configuration against one traffic source.
+
+    ``arrivals`` overrides the source's stream (used to replay the
+    identical arrival sequence against several schedulers).
+    """
+    config = config or SimulationConfig()
+    scheduler = _build_scheduler(config, seed)
+    binding = scheduler.binding
+    assert binding is not None
+    cpu = binding.cpu
+
+    stream = arrivals if arrivals is not None else source.arrival_list(config.duration)
+    timestamped = [
+        (a.time, Message(size=a.size, arrival_time=a.time)) for a in stream
+    ]
+    outcome = drive(scheduler, timestamped)
+    latency = outcome.latency
+    completed = outcome.completed
+    service_cycles = outcome.service_cycles
+
+    imisses = cpu.icache_misses
+    dmisses = cpu.dcache_misses
+    batch_sizes = getattr(scheduler, "batch_sizes", None)
+    mean_batch = float(np.mean(batch_sizes)) if batch_sizes else 1.0
+    rate = getattr(source, "rate", None)
+    if rate is None:
+        rate = len(stream) / config.duration if stream else 0.0
+    divisor = max(completed, 1)
+    return RunResult(
+        scheduler=config.scheduler,
+        arrival_rate=float(rate),
+        offered=scheduler.arrivals,
+        completed=completed,
+        dropped=scheduler.drops,
+        duration=config.duration,
+        latency=latency.summary(),
+        misses=MissesPerMessage(
+            instruction=imisses / divisor, data=dmisses / divisor
+        ),
+        cycles_per_message=service_cycles / divisor,
+        mean_batch_size=mean_batch,
+    )
+
+
+def run_averaged(
+    source_factory,
+    config: SimulationConfig,
+    seeds: list[int],
+) -> RunResult:
+    """Average one configuration over several placement/traffic seeds.
+
+    ``source_factory(seed)`` must return a fresh traffic source; the
+    same seed also drives code placement, so each run is a different
+    (placement, arrival-sequence) sample — the paper's methodology of
+    "100 runs, each with a different random placement".
+    """
+    results = [
+        run_simulation(source_factory(seed), config, seed=seed) for seed in seeds
+    ]
+    return merge_results(results)
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Conventional vs LDLP (and optionally ILP) at one operating point."""
+
+    results: dict[str, RunResult]
+
+    def __getitem__(self, name: str) -> RunResult:
+        return self.results[name]
+
+    def speedup(self, baseline: str = "conventional", improved: str = "ldlp") -> float:
+        """Ratio of per-message service cost, baseline over improved."""
+        base = self.results[baseline].cycles_per_message
+        new = self.results[improved].cycles_per_message
+        if new <= 0:
+            return float("nan")
+        return base / new
+
+    def summary(self) -> str:
+        lines = [result.summary() for result in self.results.values()]
+        lines.append(f"LDLP speedup over conventional: {self.speedup():.2f}x")
+        return "\n".join(lines)
+
+
+def compare_schedulers(
+    arrival_rate: float = 8000.0,
+    message_size: int = 552,
+    duration: float = 0.2,
+    seed: int = 0,
+    schedulers: tuple[str, ...] = ("conventional", "ldlp"),
+    config: SimulationConfig | None = None,
+) -> ComparisonResult:
+    """Run several schedulers against the *same* arrival sequence."""
+    base = config or SimulationConfig(duration=duration)
+    source = PoissonSource(arrival_rate, size=message_size, rng=seed)
+    arrivals = source.arrival_list(base.duration)
+    results = {}
+    for name in schedulers:
+        results[name] = run_simulation(
+            source,
+            base.with_scheduler(name),
+            seed=seed,
+            arrivals=arrivals,
+        )
+    return ComparisonResult(results)

@@ -1,0 +1,37 @@
+"""Memory-trace infrastructure: records, buffers, analysis, and I/O.
+
+This package rebuilds the paper's tracing apparatus (Section 2.2) as a
+library: traces are streams of :class:`MemRef` records collected in a
+:class:`TraceBuffer`, segmented into phases, classified into layers, and
+serialized to a greppable text format.
+"""
+
+from .buffer import CallEvent, PhaseMark, TraceBuffer
+from .callgraph import CallGraph, build_call_graph
+from .classify import UNCLASSIFIED, FirstTouchAttributor, LayerClassifier
+from .io import dump_trace, load_trace, parse_trace, save_trace
+from .phases import KindTotals, PhaseStats, phase_stats
+from .record import MemRef, RefKind, code_ref, read_ref, write_ref
+
+__all__ = [
+    "CallEvent",
+    "CallGraph",
+    "FirstTouchAttributor",
+    "KindTotals",
+    "LayerClassifier",
+    "MemRef",
+    "PhaseMark",
+    "PhaseStats",
+    "RefKind",
+    "TraceBuffer",
+    "UNCLASSIFIED",
+    "build_call_graph",
+    "code_ref",
+    "dump_trace",
+    "load_trace",
+    "parse_trace",
+    "phase_stats",
+    "read_ref",
+    "save_trace",
+    "write_ref",
+]

@@ -1,0 +1,101 @@
+"""Procedure call-graph extraction from traces.
+
+The paper notes its tracing system "can also produce a procedure call
+graph [and] has been generally useful in understanding control flow in
+the kernel".  This module rebuilds that capability from the call/return
+events recorded in a :class:`~repro.trace.buffer.TraceBuffer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import TraceError
+from .buffer import TraceBuffer
+
+
+@dataclass
+class CallGraph:
+    """A directed call graph with call-count edge weights.
+
+    Attributes
+    ----------
+    graph:
+        ``networkx.DiGraph`` whose nodes are function names; edge
+        ``(a, b)`` carries attribute ``calls`` — how many times ``a``
+        called ``b`` in the trace.
+    roots:
+        Functions entered with an empty call stack (trace entry points).
+    """
+
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    roots: list[str] = field(default_factory=list)
+
+    def call_count(self, caller: str, callee: str) -> int:
+        """Number of recorded ``caller`` → ``callee`` calls (0 if none)."""
+        if not self.graph.has_edge(caller, callee):
+            return 0
+        return self.graph.edges[caller, callee]["calls"]
+
+    def callees(self, fn: str) -> list[str]:
+        """Functions called directly by ``fn``, sorted by call count."""
+        if fn not in self.graph:
+            return []
+        return sorted(
+            self.graph.successors(fn),
+            key=lambda callee: -self.call_count(fn, callee),
+        )
+
+    def transitive_callees(self, fn: str) -> set[str]:
+        """Every function reachable from ``fn`` (excluding ``fn`` itself)."""
+        if fn not in self.graph:
+            return set()
+        return set(nx.descendants(self.graph, fn))
+
+    def format(self, root: str | None = None, _depth: int = 0) -> str:
+        """Render as an indented tree (cycles cut at repeats)."""
+        lines: list[str] = []
+        starts = [root] if root is not None else self.roots
+        for start in starts:
+            self._format_into(start, lines, indent=0, path=set())
+        return "\n".join(lines)
+
+    def _format_into(
+        self, fn: str, lines: list[str], indent: int, path: set[str]
+    ) -> None:
+        suffix = " (recursive)" if fn in path else ""
+        lines.append("  " * indent + fn + suffix)
+        if suffix:
+            return
+        for callee in self.callees(fn):
+            self._format_into(callee, lines, indent + 1, path | {fn})
+
+
+def build_call_graph(trace: TraceBuffer) -> CallGraph:
+    """Build a :class:`CallGraph` from a trace's call/return events."""
+    result = CallGraph()
+    stack: list[str] = []
+    for event in trace.call_events:
+        if event.enter:
+            if stack:
+                caller = stack[-1]
+                if result.graph.has_edge(caller, event.fn):
+                    result.graph.edges[caller, event.fn]["calls"] += 1
+                else:
+                    result.graph.add_edge(caller, event.fn, calls=1)
+            else:
+                result.graph.add_node(event.fn)
+                if event.fn not in result.roots:
+                    result.roots.append(event.fn)
+            stack.append(event.fn)
+        else:
+            if not stack:
+                raise TraceError(f"return from {event.fn!r} with empty stack")
+            top = stack.pop()
+            if top != event.fn:
+                raise TraceError(
+                    f"mismatched return: entered {top!r}, returned {event.fn!r}"
+                )
+    return result

@@ -1,0 +1,69 @@
+"""Per-phase trace statistics (the totals printed under Figure 1).
+
+For each phase of a trace, Figure 1 reports, separately for writes,
+reads, and code: the number of distinct bytes touched (line-aggregated)
+and the raw number of references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .buffer import TraceBuffer
+from .record import MemRef, RefKind
+
+
+@dataclass(frozen=True)
+class KindTotals:
+    """Distinct bytes (line-aggregated) and raw reference count."""
+
+    bytes: int
+    refs: int
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Figure-1-style totals for one trace phase."""
+
+    label: str
+    write: KindTotals
+    read: KindTotals
+    code: KindTotals
+
+    def format(self) -> str:
+        """Render in the layout the paper prints under each column."""
+        return (
+            f"{self.label}:\n"
+            f"  Write: {self.write.bytes} bytes {self.write.refs} refs\n"
+            f"  Read: {self.read.bytes} bytes {self.read.refs} refs\n"
+            f"  Code: {self.code.bytes} bytes {self.code.refs} refs"
+        )
+
+
+def _totals(refs: list[MemRef], kind: RefKind, line_size: int) -> KindTotals:
+    lines: set[int] = set()
+    count = 0
+    for ref in refs:
+        if ref.kind is not kind:
+            continue
+        count += 1
+        first = ref.addr // line_size
+        last = (ref.end - 1) // line_size
+        lines.update(range(first, last + 1))
+    return KindTotals(bytes=len(lines) * line_size, refs=count)
+
+
+def phase_stats(trace: TraceBuffer, line_size: int = 32) -> list[PhaseStats]:
+    """Compute Figure-1-style per-phase totals for every phase of a trace."""
+    result = []
+    for label, sl in trace.phase_slices():
+        refs = trace.refs[sl]
+        result.append(
+            PhaseStats(
+                label=label,
+                write=_totals(refs, RefKind.WRITE, line_size),
+                read=_totals(refs, RefKind.READ, line_size),
+                code=_totals(refs, RefKind.CODE, line_size),
+            )
+        )
+    return result

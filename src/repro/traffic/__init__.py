@@ -1,0 +1,46 @@
+"""Traffic sources: Poisson, deterministic, bursty, and self-similar.
+
+The self-similar generator plus the Bellcore trace reader/writer stand
+in for the Leland et al. Ethernet traces that drive the paper's
+Figure 7 (see DESIGN.md, substitutions).
+"""
+
+from .base import Arrival, TrafficSource, make_rng
+from .bellcore import (
+    ETHERNET_MAX,
+    ETHERNET_MIN,
+    OCT89_SIZE_MIX,
+    SizeMix,
+    TraceSource,
+    read_bellcore_trace,
+    synthesize_bellcore_like,
+    write_bellcore_trace,
+)
+from .onoff import ParetoOnOffSource, hurst_estimate, pareto_samples
+from .poisson import (
+    PAPER_MESSAGE_SIZE,
+    BurstSource,
+    DeterministicSource,
+    PoissonSource,
+)
+
+__all__ = [
+    "Arrival",
+    "BurstSource",
+    "DeterministicSource",
+    "ETHERNET_MAX",
+    "ETHERNET_MIN",
+    "OCT89_SIZE_MIX",
+    "PAPER_MESSAGE_SIZE",
+    "ParetoOnOffSource",
+    "PoissonSource",
+    "SizeMix",
+    "TraceSource",
+    "TrafficSource",
+    "hurst_estimate",
+    "make_rng",
+    "pareto_samples",
+    "read_bellcore_trace",
+    "synthesize_bellcore_like",
+    "write_bellcore_trace",
+]

@@ -1,0 +1,98 @@
+"""Unit helpers: byte sizes, frequencies, and cycle/time conversion.
+
+The simulations in this package keep time in *CPU cycles* internally and
+convert to seconds only at reporting boundaries.  These helpers make the
+conversions explicit and keep magic numbers out of the simulation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+#: Number of bytes in a kibibyte.  The paper writes "8 KB caches" meaning
+#: 8192 bytes; we follow that convention throughout.
+KB = 1024
+
+#: One megahertz, in hertz.
+MHZ = 1_000_000
+
+
+def kb(n: float) -> int:
+    """Return ``n`` kibibytes as an integer byte count.
+
+    >>> kb(8)
+    8192
+    """
+    return int(n * KB)
+
+
+def mhz(n: float) -> float:
+    """Return ``n`` megahertz in hertz.
+
+    >>> mhz(100)
+    100000000.0
+    """
+    return float(n) * MHZ
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A CPU clock used to convert between cycles and seconds.
+
+    Parameters
+    ----------
+    hz:
+        Clock frequency in hertz.  Must be positive.
+    """
+
+    hz: float
+
+    def __post_init__(self) -> None:
+        if self.hz <= 0:
+            raise ConfigurationError(f"clock frequency must be positive, got {self.hz}")
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds."""
+        return cycles / self.hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds to (fractional) cycles."""
+        return seconds * self.hz
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds."""
+        return self.cycles_to_seconds(cycles) * 1e6
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count the way the paper does (``30 KB``, ``552 B``).
+
+    >>> format_bytes(8192)
+    '8 KB'
+    >>> format_bytes(552)
+    '552 B'
+    """
+    if n >= KB and n % KB == 0:
+        return f"{n // KB} KB"
+    if n >= 10 * KB:
+        return f"{n / KB:.1f} KB"
+    return f"{n} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with the unit the paper's figures use.
+
+    >>> format_duration(0.000_1)
+    '100.0 us'
+    >>> format_duration(0.01)
+    '10.0 ms'
+    """
+    if seconds < 0:
+        raise ConfigurationError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.3f} s"

@@ -1,0 +1,75 @@
+"""Tests for batch-end delayed-ACK flushing (the LDLP fast-timer hook)."""
+
+from repro.core import ConventionalScheduler, LDLPScheduler, Message
+from repro.protocols import FLAG_ACK, TcpSender, build_tcp_receive_stack
+from repro.protocols.stack import TcpLayer
+
+
+def established(flush_acks: bool, scheduler_cls=LDLPScheduler):
+    stack = build_tcp_receive_stack("10.0.0.1", 4000)
+    tcp_layer = stack.layers[2]
+    assert isinstance(tcp_layer, TcpLayer)
+    tcp_layer.flush_acks_on_batch_end = flush_acks
+    scheduler = scheduler_cls(stack.layers)
+    sender = TcpSender(src="10.0.0.9", dst="10.0.0.1", src_port=7, dst_port=4000)
+    scheduler.run_to_completion([Message(payload=sender.syn())])
+    scheduler.run_to_completion(
+        [Message(payload=sender.complete_handshake(stack.transmitted[-1]))]
+    )
+    return stack, scheduler, sender
+
+
+def data_acks(stack):
+    return [h for h in stack.transmitted if h.flags == FLAG_ACK]
+
+
+class TestAckFlush:
+    def test_default_keeps_delayed_acks(self):
+        stack, scheduler, sender = established(flush_acks=False)
+        # 3 segments in one batch: ack-every-2 leaves one segment unacked.
+        scheduler.run_to_completion(
+            [Message(payload=sender.data(b"x" * 64)) for _ in range(3)]
+        )
+        assert len(data_acks(stack)) == 1
+
+    def test_flush_emits_trailing_ack(self):
+        stack, scheduler, sender = established(flush_acks=True)
+        scheduler.run_to_completion(
+            [Message(payload=sender.data(b"x" * 64)) for _ in range(3)]
+        )
+        # One regular ACK (after segment 2) plus the batch-end flush.
+        acks = data_acks(stack)
+        assert len(acks) == 2
+        # The flushed ACK acknowledges everything received.
+        assert acks[-1].ack == sender.snd_nxt
+
+    def test_even_batch_needs_no_flush_ack(self):
+        stack, scheduler, sender = established(flush_acks=True)
+        scheduler.run_to_completion(
+            [Message(payload=sender.data(b"x" * 64)) for _ in range(4)]
+        )
+        assert len(data_acks(stack)) == 2  # no pending ACK to flush
+
+    def test_delivery_identical_with_and_without(self):
+        payloads = [bytes([i]) * 80 for i in range(7)]
+        results = []
+        for flush_acks in (False, True):
+            stack, scheduler, sender = established(flush_acks)
+            scheduler.run_to_completion(
+                [Message(payload=sender.data(p)) for p in payloads]
+            )
+            results.append(stack.socket.receive_buffer.read())
+        assert results[0] == results[1] == b"".join(payloads)
+
+    def test_conventional_scheduler_unaffected_by_default(self):
+        """The conventional scheduler has no batch boundary, so the flag
+        fires after every message — every segment gets an ACK."""
+        stack, scheduler, sender = established(
+            flush_acks=True, scheduler_cls=ConventionalScheduler
+        )
+        scheduler.run_to_completion(
+            [Message(payload=sender.data(b"x" * 64)) for _ in range(3)]
+        )
+        # Conventional scheduler never calls flush(); delayed ACKs stay
+        # delayed exactly as in the traced kernel.
+        assert len(data_acks(stack)) == 1

@@ -1,0 +1,120 @@
+"""Tests for repro.protocols.checksum (Figure 8's subject)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import MbufChain
+from repro.errors import ChecksumError, ConfigurationError
+from repro.protocols.checksum import (
+    BSD_CKSUM_MODEL,
+    SIMPLE_CKSUM_MODEL,
+    ChecksumCostModel,
+    checksum_chain,
+    internet_checksum,
+    internet_checksum_unrolled,
+    verify_checksum,
+)
+
+
+class TestCorrectness:
+    def test_rfc1071_example(self):
+        # RFC 1071's worked example: 0001 f203 f4f5 f6f7 -> sum ddf2,
+        # checksum = ~ddf2 = 220d.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_empty(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_pads_right(self):
+        # A single byte 0xAB counts as the word 0xAB00.
+        assert internet_checksum(bytes([0xAB])) == (~0xAB00) & 0xFFFF
+
+    def test_all_ones_sums_to_zero_checksum(self):
+        assert internet_checksum(b"\xff\xff\xff\xff") == 0x0000
+
+    def test_verification_of_stamped_data(self):
+        # Appending the checksum makes the whole thing sum to 0.
+        data = b"The quick brown fox!"  # even length
+        checksum = internet_checksum(data)
+        stamped = data + checksum.to_bytes(2, "big")
+        assert internet_checksum(stamped) == 0
+
+    def test_verify_checksum_helper(self):
+        data = b"hi"
+        verify_checksum(data, internet_checksum(data))
+        with pytest.raises(ChecksumError):
+            verify_checksum(data, 0x1234)
+
+    def test_carry_folding(self):
+        # Many 0xFFFF words force repeated carry wraps.
+        assert internet_checksum(b"\xff" * 1000) == internet_checksum(b"\xff" * 1000)
+
+    @given(data=st.binary(max_size=2048))
+    @settings(max_examples=100, deadline=None)
+    def test_simple_equals_unrolled(self, data):
+        """Property: both implementations always agree (the paper's two
+        routines compute the same function)."""
+        assert internet_checksum(data) == internet_checksum_unrolled(data)
+
+    @given(data=st.binary(min_size=2, max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_stamped_verifies(self, data):
+        """Property: data + its checksum always verifies to zero."""
+        if len(data) % 2:
+            data += b"\x00"
+        checksum = internet_checksum(data)
+        assert internet_checksum(data + checksum.to_bytes(2, "big")) == 0
+
+
+class TestChainChecksum:
+    @given(
+        data=st.binary(max_size=1200),
+        segment=st.integers(1, 97),
+        simple=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_chain_matches_flat(self, data, segment, simple):
+        """Property: checksumming an mbuf chain with arbitrary (odd!)
+        segment boundaries equals checksumming the flat bytes."""
+        chain = MbufChain.from_bytes(data, segment_size=segment)
+        assert checksum_chain(chain, simple=simple) == internet_checksum(data)
+
+    def test_odd_segment_boundary(self):
+        # Regression: a 3-byte first segment leaves the second segment
+        # byte-swapped relative to word alignment.
+        data = b"abcdefgh"
+        chain = MbufChain.from_bytes(data, segment_size=3)
+        assert checksum_chain(chain) == internet_checksum(data)
+
+    def test_empty_chain(self):
+        chain = MbufChain.from_bytes(b"")
+        assert checksum_chain(chain) == 0xFFFF
+
+
+class TestCostModels:
+    def test_paper_footprints(self):
+        # Section 5.1: 1104 bytes total, 992 active; simple 288 active.
+        assert BSD_CKSUM_MODEL.code_bytes == 1104
+        assert BSD_CKSUM_MODEL.active_code_bytes == 992
+        assert SIMPLE_CKSUM_MODEL.active_code_bytes == 288
+
+    def test_cold_extra_lines(self):
+        assert BSD_CKSUM_MODEL.cold_extra_lines(32) == 31
+        assert SIMPLE_CKSUM_MODEL.cold_extra_lines(32) == 9
+
+    def test_warm_cycles_linear(self):
+        model = SIMPLE_CKSUM_MODEL
+        assert model.warm_cycles(100) == pytest.approx(
+            model.setup_cycles + 100 * model.cycles_per_byte
+        )
+
+    def test_elaborate_cheaper_per_byte(self):
+        assert BSD_CKSUM_MODEL.cycles_per_byte < SIMPLE_CKSUM_MODEL.cycles_per_byte
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChecksumCostModel("bad", 100, 200, 10, 1.0)
+        with pytest.raises(ConfigurationError):
+            ChecksumCostModel("bad", 100, 100, -1, 1.0)

@@ -1,0 +1,219 @@
+"""Tests for the DNS wire format and the tiny authoritative zone."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocols.dns import (
+    FLAG_AA,
+    FLAG_QR,
+    DnsMessage,
+    DnsZone,
+    NameEncoder,
+    Question,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+    decode_name,
+)
+
+label = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1,
+    max_size=20,
+).filter(lambda s: not s.startswith("-") and not s.endswith("-"))
+hostname = st.lists(label, min_size=1, max_size=4).map(".".join)
+
+
+class TestNames:
+    def test_encode_decode_simple(self):
+        encoder = NameEncoder()
+        wire = encoder.encode("www.example.com", 0)
+        name, offset = decode_name(wire, 0)
+        assert name == "www.example.com"
+        assert offset == len(wire)
+
+    def test_root_name(self):
+        encoder = NameEncoder()
+        wire = encoder.encode("", 0)
+        assert wire == b"\x00"
+        name, _ = decode_name(wire, 0)
+        assert name == ""
+
+    def test_compression_pointer_used(self):
+        encoder = NameEncoder()
+        first = encoder.encode("example.com", 0)
+        second = encoder.encode("www.example.com", len(first))
+        # second = label "www" + 2-byte pointer, much shorter than full.
+        assert len(second) == 4 + 2
+        combined = first + second
+        name, _ = decode_name(combined, len(first))
+        assert name == "www.example.com"
+
+    def test_exact_repeat_is_pure_pointer(self):
+        encoder = NameEncoder()
+        first = encoder.encode("a.b.c", 0)
+        second = encoder.encode("a.b.c", len(first))
+        assert len(second) == 2
+
+    def test_pointer_loop_rejected(self):
+        # A pointer pointing at itself.
+        wire = b"\xc0\x00"
+        with pytest.raises(ProtocolError):
+            decode_name(wire, 0)
+
+    def test_forward_pointer_rejected(self):
+        wire = b"\xc0\x05" + b"\x00" * 10
+        with pytest.raises(ProtocolError):
+            decode_name(wire, 0)
+
+    def test_truncated_label_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_name(b"\x05ab", 0)
+
+    def test_oversized_label_rejected(self):
+        encoder = NameEncoder()
+        with pytest.raises(ProtocolError):
+            encoder.encode("a" * 64 + ".com", 0)
+
+    def test_oversized_name_rejected(self):
+        encoder = NameEncoder()
+        with pytest.raises(ProtocolError):
+            encoder.encode(".".join(["abcdefgh"] * 40), 0)
+
+    @given(name=hostname)
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, name):
+        encoder = NameEncoder()
+        wire = encoder.encode(name, 0)
+        decoded, _ = decode_name(wire, 0)
+        assert decoded == name.lower()
+
+
+class TestMessage:
+    def test_query_roundtrip(self):
+        query = DnsMessage.query(0x1234, "host.example.com")
+        parsed = DnsMessage.parse(query.serialize())
+        assert parsed.ident == 0x1234
+        assert not parsed.is_response
+        assert parsed.questions == (Question("host.example.com"),)
+
+    def test_response_roundtrip_with_compression(self):
+        response = DnsMessage(
+            ident=7,
+            flags=FLAG_QR | FLAG_AA,
+            questions=(Question("www.example.com"),),
+            answers=(
+                ResourceRecord.a("www.example.com", "10.1.2.3", ttl=60),
+                ResourceRecord.a("www.example.com", "10.1.2.4", ttl=60),
+            ),
+        )
+        wire = response.serialize()
+        # Compression: the answer names are pointers, so the full name
+        # appears only once in the wire image.
+        assert wire.count(b"\x03www") == 1
+        parsed = DnsMessage.parse(wire)
+        assert parsed.is_response
+        assert len(parsed.answers) == 2
+        assert parsed.answers[0].address == "10.1.2.3"
+        assert parsed.answers[1].address == "10.1.2.4"
+        assert parsed.answers[0].name == "www.example.com"
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            DnsMessage.parse(b"\x00" * 6)
+
+    def test_truncated_question_rejected(self):
+        wire = DnsMessage.query(1, "a.b").serialize()
+        with pytest.raises(ProtocolError):
+            DnsMessage.parse(wire[:-2])
+
+    def test_truncated_rdata_rejected(self):
+        response = DnsMessage(
+            ident=1,
+            flags=FLAG_QR,
+            questions=(Question("a.b"),),
+            answers=(ResourceRecord.a("a.b", "1.2.3.4"),),
+        )
+        with pytest.raises(ProtocolError):
+            DnsMessage.parse(response.serialize()[:-2])
+
+    def test_address_accessor_guards_type(self):
+        record = ResourceRecord("x", RecordType.TXT, 60, b"hello")
+        with pytest.raises(ProtocolError):
+            record.address
+
+    @given(ident=st.integers(0, 0xFFFF), name=hostname)
+    @settings(max_examples=60, deadline=None)
+    def test_query_roundtrip_property(self, ident, name):
+        parsed = DnsMessage.parse(DnsMessage.query(ident, name).serialize())
+        assert parsed.ident == ident
+        assert parsed.questions[0].name == name.lower()
+
+
+class TestZone:
+    def make_zone(self):
+        zone = DnsZone()
+        zone.add_a("www.example.com", "10.0.0.80")
+        zone.add_a("www.example.com", "10.0.0.81")
+        zone.add_a("mail.example.com", "10.0.0.25")
+        zone.add(
+            ResourceRecord(
+                "web.example.com", RecordType.CNAME, 300, b"www.example.com"
+            )
+        )
+        return zone
+
+    def test_positive_answer(self):
+        zone = self.make_zone()
+        response = zone.answer(DnsMessage.query(5, "www.example.com"))
+        assert response.rcode == Rcode.NOERROR
+        assert {r.address for r in response.answers} == {"10.0.0.80", "10.0.0.81"}
+        assert response.is_response
+        assert response.flags & FLAG_AA
+
+    def test_nxdomain(self):
+        zone = self.make_zone()
+        response = zone.answer(DnsMessage.query(6, "nope.example.com"))
+        assert response.rcode == Rcode.NXDOMAIN
+        assert response.answers == ()
+        assert zone.nxdomains == 1
+
+    def test_cname_chase(self):
+        zone = self.make_zone()
+        response = zone.answer(DnsMessage.query(7, "web.example.com"))
+        types = [r.rtype for r in response.answers]
+        assert RecordType.CNAME in types
+        assert RecordType.A in types
+        addresses = {
+            r.address for r in response.answers if r.rtype == RecordType.A
+        }
+        assert addresses == {"10.0.0.80", "10.0.0.81"}
+
+    def test_name_exists_wrong_type(self):
+        zone = self.make_zone()
+        response = zone.answer(
+            DnsMessage.query(8, "www.example.com", RecordType.AAAA)
+        )
+        assert response.rcode == Rcode.NOERROR
+        assert response.answers == ()
+
+    def test_case_insensitive(self):
+        zone = self.make_zone()
+        response = zone.answer(DnsMessage.query(9, "WWW.Example.COM"))
+        assert response.answers
+
+    def test_response_to_response_is_formerr(self):
+        zone = self.make_zone()
+        bogus = DnsMessage(ident=1, flags=FLAG_QR, questions=(Question("x"),))
+        assert zone.answer(bogus).rcode == Rcode.FORMERR
+
+    def test_roundtrip_through_wire(self):
+        """Full server path: wire query in, wire response out, parse."""
+        zone = self.make_zone()
+        query_wire = DnsMessage.query(0xBEEF, "mail.example.com").serialize()
+        response_wire = zone.answer(DnsMessage.parse(query_wire)).serialize()
+        parsed = DnsMessage.parse(response_wire)
+        assert parsed.ident == 0xBEEF
+        assert parsed.answers[0].address == "10.0.0.25"

@@ -1,0 +1,195 @@
+"""Tests for repro.protocols.ethernet and repro.protocols.ip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChecksumError, ProtocolError
+from repro.protocols import ethernet
+from repro.protocols.ethernet import EthernetHeader, MacAddress
+from repro.protocols.ip import (
+    FLAG_DF,
+    FLAG_MF,
+    IPv4Address,
+    IPv4Header,
+    PROTO_TCP,
+    build_datagram,
+)
+
+
+class TestMacAddress:
+    def test_parse_and_str(self):
+        mac = MacAddress.parse("02:00:00:aa:bb:cc")
+        assert str(mac) == "02:00:00:aa:bb:cc"
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            MacAddress(b"\x00" * 5)
+        with pytest.raises(ProtocolError):
+            MacAddress.parse("02:00:00")
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(ProtocolError):
+            MacAddress.parse("zz:00:00:00:00:00")
+
+    def test_broadcast_and_multicast(self):
+        assert ethernet.BROADCAST.is_broadcast
+        assert MacAddress.parse("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress.parse("02:00:00:00:00:01").is_broadcast
+
+
+class TestEthernetHeader:
+    def test_roundtrip(self):
+        header = EthernetHeader(
+            dst=MacAddress.parse("02:00:00:00:00:02"),
+            src=MacAddress.parse("02:00:00:00:00:01"),
+            ethertype=ethernet.ETHERTYPE_IP,
+        )
+        parsed = EthernetHeader.parse(header.serialize())
+        assert parsed == header
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            EthernetHeader.parse(b"\x00" * 10)
+
+    def test_8023_length_rejected(self):
+        raw = b"\x00" * 12 + (100).to_bytes(2, "big")
+        with pytest.raises(ProtocolError):
+            EthernetHeader.parse(raw)
+
+    def test_frame_pads_to_minimum(self):
+        frame = ethernet.frame(
+            ethernet.BROADCAST,
+            MacAddress.parse("02:00:00:00:00:01"),
+            ethernet.ETHERTYPE_IP,
+            b"x",
+        )
+        assert len(frame) == ethernet.HEADER_LEN + ethernet.MIN_PAYLOAD
+
+    def test_frame_rejects_jumbo(self):
+        with pytest.raises(ProtocolError):
+            ethernet.frame(
+                ethernet.BROADCAST,
+                MacAddress.parse("02:00:00:00:00:01"),
+                ethernet.ETHERTYPE_IP,
+                b"x" * 1501,
+            )
+
+
+class TestIPv4Address:
+    def test_parse_and_str(self):
+        assert str(IPv4Address.parse("10.1.2.3")) == "10.1.2.3"
+
+    def test_bad_addresses(self):
+        for text in ("10.1.2", "10.1.2.3.4", "10.1.2.777", "a.b.c.d"):
+            with pytest.raises(ProtocolError):
+                IPv4Address.parse(text)
+
+    def test_special_addresses(self):
+        assert IPv4Address.parse("255.255.255.255").is_broadcast
+        assert IPv4Address.parse("224.0.0.1").is_multicast
+        assert not IPv4Address.parse("10.0.0.1").is_multicast
+
+
+def make_header(**overrides):
+    fields = dict(
+        src=IPv4Address.parse("10.0.0.2"),
+        dst=IPv4Address.parse("10.0.0.1"),
+        protocol=PROTO_TCP,
+        total_length=40,
+    )
+    fields.update(overrides)
+    return IPv4Header(**fields)
+
+
+class TestIPv4Header:
+    def test_roundtrip(self):
+        header = make_header(identification=7, ttl=17)
+        parsed = IPv4Header.parse(header.serialize())
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.identification == 7
+        assert parsed.ttl == 17
+
+    def test_checksum_verified_on_parse(self):
+        raw = bytearray(make_header().serialize())
+        raw[8] ^= 0xFF  # corrupt the TTL
+        with pytest.raises(ChecksumError):
+            IPv4Header.parse(bytes(raw))
+        # verify=False skips the check.
+        IPv4Header.parse(bytes(raw), verify=False)
+
+    def test_wrong_version_rejected(self):
+        raw = bytearray(make_header().serialize())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ProtocolError):
+            IPv4Header.parse(bytes(raw), verify=False)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            IPv4Header.parse(b"\x45" + b"\x00" * 10)
+
+    def test_bad_ihl_rejected(self):
+        raw = bytearray(make_header().serialize())
+        raw[0] = (4 << 4) | 4  # IHL 16 bytes < 20
+        with pytest.raises(ProtocolError):
+            IPv4Header.parse(bytes(raw), verify=False)
+
+    def test_total_length_below_header_rejected(self):
+        header = make_header(total_length=10)
+        with pytest.raises(ProtocolError):
+            IPv4Header.parse(header.serialize())
+
+    def test_options_roundtrip(self):
+        header = make_header(options=b"\x01\x01\x01\x00", total_length=44)
+        parsed = IPv4Header.parse(header.serialize())
+        assert parsed.options == b"\x01\x01\x01\x00"
+        assert parsed.header_length == 24
+
+    def test_unpadded_options_rejected(self):
+        header = make_header(options=b"\x01\x01")
+        with pytest.raises(ProtocolError):
+            header.serialize()
+
+    def test_fragment_flags(self):
+        assert make_header(flags=FLAG_MF).is_fragment
+        assert make_header(fragment_offset=64).is_fragment
+        assert not make_header().is_fragment
+        assert make_header(flags=FLAG_DF).dont_fragment
+
+    def test_fragment_offset_units(self):
+        header = make_header(fragment_offset=64)
+        parsed = IPv4Header.parse(header.serialize())
+        assert parsed.fragment_offset == 64
+
+    def test_misaligned_fragment_offset_rejected(self):
+        header = make_header(fragment_offset=3)
+        with pytest.raises(ProtocolError):
+            header.serialize()
+
+    def test_build_datagram_fixes_length(self):
+        datagram = build_datagram(make_header(total_length=0), b"x" * 30)
+        parsed = IPv4Header.parse(datagram[:20])
+        assert parsed.total_length == 50
+
+    @given(
+        ident=st.integers(0, 0xFFFF),
+        ttl=st.integers(1, 255),
+        proto=st.integers(0, 255),
+        payload_len=st.integers(0, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_property(self, ident, ttl, proto, payload_len):
+        """Property: serialize→parse is the identity on header fields,
+        and the serialized header always self-verifies."""
+        header = make_header(
+            identification=ident,
+            ttl=ttl,
+            protocol=proto,
+            total_length=20 + payload_len,
+        )
+        parsed = IPv4Header.parse(header.serialize())
+        assert parsed.identification == ident
+        assert parsed.ttl == ttl
+        assert parsed.protocol == proto
+        assert parsed.total_length == 20 + payload_len

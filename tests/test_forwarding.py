@@ -1,0 +1,180 @@
+"""Tests for the router forwarding path and incremental checksums."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConventionalScheduler, LDLPScheduler, Message
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocols.checksum import (
+    incremental_checksum_update,
+    internet_checksum,
+)
+from repro.protocols.craft import ip_frame
+from repro.protocols.forward import (
+    Route,
+    RoutingTable,
+    build_forwarding_path,
+)
+from repro.protocols.ip import IPv4Address, IPv4Header, PROTO_UDP
+
+
+class TestIncrementalChecksum:
+    def test_matches_full_recompute(self):
+        header = IPv4Header(
+            src=IPv4Address.parse("10.0.0.9"),
+            dst=IPv4Address.parse("192.168.1.1"),
+            protocol=PROTO_UDP,
+            total_length=60,
+            ttl=64,
+        ).serialize()
+        old_checksum = int.from_bytes(header[10:12], "big")
+        old_word = (header[8] << 8) | header[9]
+        new_word = ((header[8] - 1) << 8) | header[9]
+        patched = incremental_checksum_update(old_checksum, old_word, new_word)
+        rebuilt = bytearray(header)
+        rebuilt[8] -= 1
+        rebuilt[10:12] = b"\x00\x00"
+        assert patched == internet_checksum(bytes(rebuilt))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            incremental_checksum_update(0x10000, 0, 0)
+        with pytest.raises(ConfigurationError):
+            incremental_checksum_update(0, -1, 0)
+
+    @given(
+        words=st.lists(st.integers(0, 0xFFFF), min_size=2, max_size=20),
+        index=st.integers(0, 19),
+        new_value=st.integers(0, 0xFFFF),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_equals_recompute_property(self, words, index,
+                                                   new_value):
+        """Property (RFC 1624): patching one word incrementally always
+        equals recomputing the checksum from scratch — except for the
+        all-zero datagram, where one's complement's two zeros (0x0000
+        and 0xFFFF) are both valid; RFC 1624 §3 discusses exactly this
+        degenerate case, which real headers (version != 0) never hit."""
+        from hypothesis import assume
+
+        index %= len(words)
+        patched_words = list(words)
+        patched_words[index] = new_value
+        assume(any(words) and any(patched_words))
+        data = b"".join(word.to_bytes(2, "big") for word in words)
+        old_checksum = internet_checksum(data)
+        new_data = b"".join(word.to_bytes(2, "big") for word in patched_words)
+        incremental = incremental_checksum_update(
+            old_checksum, words[index], new_value
+        )
+        assert incremental == internet_checksum(new_data)
+
+
+class TestRoutingTable:
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", "02:00:00:00:00:08")
+        table.add("10.1.0.0/16", "02:00:00:00:00:16")
+        table.add("10.1.2.0/24", "02:00:00:00:00:24")
+        route = table.lookup(IPv4Address.parse("10.1.2.3"))
+        assert str(route.next_hop_mac).endswith(":24")
+        route = table.lookup(IPv4Address.parse("10.1.9.9"))
+        assert str(route.next_hop_mac).endswith(":16")
+        route = table.lookup(IPv4Address.parse("10.9.9.9"))
+        assert str(route.next_hop_mac).endswith(":08")
+
+    def test_default_route(self):
+        table = RoutingTable()
+        table.add("0.0.0.0/0", "02:00:00:00:00:99")
+        assert table.lookup(IPv4Address.parse("8.8.8.8")) is not None
+
+    def test_miss_counted(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", "02:00:00:00:00:08")
+        assert table.lookup(IPv4Address.parse("192.168.0.1")) is None
+        assert table.misses == 1
+
+    def test_bad_cidr_rejected(self):
+        with pytest.raises(ProtocolError):
+            Route.parse("10.0.0.0", "02:00:00:00:00:01")
+        with pytest.raises(ProtocolError):
+            Route.parse("10.0.0.0/40", "02:00:00:00:00:01")
+
+
+def make_path():
+    return build_forwarding_path(
+        routes=[
+            ("192.168.0.0/16", "02:00:00:00:00:aa"),
+            ("0.0.0.0/0", "02:00:00:00:00:bb"),
+        ]
+    )
+
+
+class TestForwardingPath:
+    def test_forwarding_rewrites_and_decrements(self):
+        path = make_path()
+        scheduler = ConventionalScheduler(path.layers)
+        frame = ip_frame("10.0.0.9", "192.168.5.5", PROTO_UDP, b"p" * 40, ttl=17)
+        scheduler.run_to_completion([Message(payload=frame)])
+        assert path.stats.forwarded == 1
+        out_frame, route = path.transmitted[0]
+        assert str(route.next_hop_mac).endswith(":aa")
+        header = IPv4Header.parse(out_frame[14:34])  # checksum must verify
+        assert header.ttl == 16
+        assert str(header.dst) == "192.168.5.5"
+
+    def test_ttl_expiry_dropped(self):
+        path = make_path()
+        scheduler = ConventionalScheduler(path.layers)
+        frame = ip_frame("10.0.0.9", "192.168.5.5", PROTO_UDP, b"p" * 40, ttl=1)
+        scheduler.run_to_completion([Message(payload=frame)])
+        assert path.stats.ttl_expired == 1
+        assert path.transmitted == []
+
+    def test_no_route_dropped(self):
+        path = build_forwarding_path(routes=[("10.0.0.0/8", "02:00:00:00:00:01")])
+        scheduler = ConventionalScheduler(path.layers)
+        frame = ip_frame("10.0.0.9", "172.16.0.1", PROTO_UDP, b"p" * 20)
+        scheduler.run_to_completion([Message(payload=frame)])
+        assert path.stats.no_route == 1
+
+    def test_payload_untouched(self):
+        path = make_path()
+        scheduler = ConventionalScheduler(path.layers)
+        payload = bytes(range(200))
+        frame = ip_frame("10.0.0.9", "192.168.1.1", PROTO_UDP, payload)
+        scheduler.run_to_completion([Message(payload=frame)])
+        out_frame, _ = path.transmitted[0]
+        header = IPv4Header.parse(out_frame[14:34])
+        assert out_frame[14 + 20 : 14 + header.total_length] == payload
+
+    def test_ldlp_equals_conventional(self):
+        frames = [
+            ip_frame("10.0.0.9", f"192.168.{i}.1", PROTO_UDP, bytes([i]) * 30,
+                     ttl=30 + i)
+            for i in range(10)
+        ]
+        outputs = []
+        for cls in (ConventionalScheduler, LDLPScheduler):
+            path = make_path()
+            scheduler = cls(path.layers)
+            scheduler.run_to_completion([Message(payload=f) for f in frames])
+            outputs.append([frame for frame, _ in path.transmitted])
+        assert outputs[0] == outputs[1]
+
+    @given(ttl=st.integers(2, 255), third_octet=st.integers(0, 255))
+    @settings(max_examples=50, deadline=None)
+    def test_forwarded_header_always_verifies(self, ttl, third_octet):
+        """Property: the incrementally patched header always passes a
+        full checksum verification at the next hop."""
+        path = make_path()
+        scheduler = ConventionalScheduler(path.layers)
+        frame = ip_frame(
+            "10.0.0.9", f"192.168.{third_octet}.7", PROTO_UDP, b"q" * 24,
+            ttl=ttl,
+        )
+        scheduler.run_to_completion([Message(payload=frame)])
+        out_frame, _ = path.transmitted[0]
+        header = IPv4Header.parse(out_frame[14:34])  # verify=True default
+        assert header.ttl == ttl - 1

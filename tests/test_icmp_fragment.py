@@ -1,0 +1,295 @@
+"""Tests for ICMP and IPv4 fragmentation/reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConventionalScheduler, Message
+from repro.errors import ChecksumError, ProtocolError
+from repro.protocols import (
+    IcmpMessage,
+    IcmpType,
+    Reassembler,
+    fragment_datagram,
+)
+from repro.protocols.ip import FLAG_DF, IPv4Address, IPv4Header, PROTO_UDP
+
+
+class TestIcmpWire:
+    def test_echo_roundtrip(self):
+        ping = IcmpMessage.echo_request(0x42, 7, b"abcdefgh")
+        parsed = IcmpMessage.parse(ping.serialize())
+        assert parsed.icmp_type == IcmpType.ECHO_REQUEST
+        assert parsed.identifier == 0x42
+        assert parsed.sequence == 7
+        assert parsed.payload == b"abcdefgh"
+
+    def test_checksum_detects_corruption(self):
+        wire = bytearray(IcmpMessage.echo_request(1, 1, b"x").serialize())
+        wire[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            IcmpMessage.parse(bytes(wire))
+
+    def test_reply_mirrors_request(self):
+        request = IcmpMessage.echo_request(9, 3, b"data")
+        reply = IcmpMessage.echo_reply_to(request)
+        assert reply.icmp_type == IcmpType.ECHO_REPLY
+        assert reply.identifier == 9
+        assert reply.sequence == 3
+        assert reply.payload == b"data"
+
+    def test_reply_to_non_request_rejected(self):
+        reply = IcmpMessage(IcmpType.ECHO_REPLY, 0, 1, 1)
+        with pytest.raises(ProtocolError):
+            IcmpMessage.echo_reply_to(reply)
+
+    def test_short_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            IcmpMessage.parse(b"\x08\x00\x00")
+
+    @given(ident=st.integers(0, 0xFFFF), seq=st.integers(0, 0xFFFF),
+           payload=st.binary(max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, ident, seq, payload):
+        wire = IcmpMessage.echo_request(ident, seq, payload).serialize()
+        parsed = IcmpMessage.parse(wire)
+        assert (parsed.identifier, parsed.sequence, parsed.payload) == (
+            ident, seq, payload,
+        )
+
+
+class TestIcmpLayer:
+    def build(self):
+        from repro.protocols.icmp import IcmpLayer
+        from repro.protocols.stack import DeviceLayer, IpLayer, StackStats
+
+        stats = StackStats()
+        replies = []
+        layers = [
+            DeviceLayer(stats),
+            IpLayer(stats, IPv4Address.parse("10.0.0.1")),
+            IcmpLayer(stats, transmit=lambda m, peer: replies.append((m, peer))),
+        ]
+        return layers, replies, stats
+
+    def ping_frame(self, payload=b"ping!"):
+        from repro.protocols.craft import ip_frame
+        from repro.protocols.ip import PROTO_ICMP
+
+        icmp = IcmpMessage.echo_request(7, 1, payload).serialize()
+        return ip_frame("10.0.0.9", "10.0.0.1", PROTO_ICMP, icmp)
+
+    def test_echo_request_answered(self):
+        layers, replies, _stats = self.build()
+        scheduler = ConventionalScheduler(layers)
+        scheduler.run_to_completion([Message(payload=self.ping_frame())])
+        assert len(replies) == 1
+        reply, peer = replies[0]
+        assert reply.icmp_type == IcmpType.ECHO_REPLY
+        assert reply.payload == b"ping!"
+        assert str(peer) == "10.0.0.9"
+
+    def test_corrupt_icmp_counted(self):
+        from repro.protocols.craft import ip_frame
+        from repro.protocols.ip import PROTO_ICMP
+
+        layers, replies, stats = self.build()
+        icmp = bytearray(IcmpMessage.echo_request(7, 1, b"x").serialize())
+        icmp[-1] ^= 0x01
+        frame = ip_frame("10.0.0.9", "10.0.0.1", PROTO_ICMP, bytes(icmp))
+        ConventionalScheduler(layers).run_to_completion([Message(payload=frame)])
+        assert replies == []
+        assert stats.bad_transport == 1
+
+
+def make_header(payload_len, ident=5, flags=0):
+    return IPv4Header(
+        src=IPv4Address.parse("10.0.0.9"),
+        dst=IPv4Address.parse("10.0.0.1"),
+        protocol=PROTO_UDP,
+        total_length=20 + payload_len,
+        identification=ident,
+        flags=flags,
+    )
+
+
+class TestFragmentation:
+    def test_small_datagram_unfragmented(self):
+        frames = fragment_datagram(make_header(100), b"x" * 100, mtu=1500)
+        assert len(frames) == 1
+        parsed = IPv4Header.parse(frames[0][:20])
+        assert not parsed.is_fragment
+
+    def test_split_into_mtu_chunks(self):
+        payload = bytes(range(256)) * 8  # 2048 bytes
+        frames = fragment_datagram(make_header(len(payload)), payload, mtu=576)
+        assert len(frames) == 4
+        offsets = []
+        for frame in frames:
+            header = IPv4Header.parse(frame[:20])
+            offsets.append(header.fragment_offset)
+            assert len(frame) <= 576
+        assert offsets[0] == 0
+        assert offsets == sorted(offsets)
+        # All but the last have MF set.
+        headers = [IPv4Header.parse(f[:20]) for f in frames]
+        assert all(h.is_fragment for h in headers)
+        assert not headers[-1].flags & 0x2000 or headers[-1].fragment_offset > 0
+
+    def test_df_refuses_fragmentation(self):
+        with pytest.raises(ProtocolError):
+            fragment_datagram(
+                make_header(2000, flags=FLAG_DF), b"x" * 2000, mtu=576
+            )
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(ProtocolError):
+            fragment_datagram(make_header(100), b"x" * 100, mtu=24)
+
+
+class TestReassembly:
+    def roundtrip(self, payload, mtu=576, shuffle=None):
+        frames = fragment_datagram(make_header(len(payload)), payload, mtu=mtu)
+        pieces = []
+        for frame in frames:
+            header = IPv4Header.parse(frame[:20])
+            pieces.append((header, frame[20:]))
+        if shuffle:
+            pieces = [pieces[i] for i in shuffle]
+        reassembler = Reassembler()
+        results = [reassembler.accept(h, p) for h, p in pieces]
+        return results, reassembler
+
+    def test_in_order_reassembly(self):
+        payload = bytes(range(256)) * 6
+        results, reassembler = self.roundtrip(payload)
+        assert all(r is None for r in results[:-1])
+        header, assembled = results[-1]
+        assert assembled == payload
+        assert header.total_length == 20 + len(payload)
+        assert not header.is_fragment
+        assert reassembler.completed == 1
+        assert len(reassembler) == 0
+
+    def test_out_of_order_reassembly(self):
+        payload = bytes(range(256)) * 6
+        results, _ = self.roundtrip(payload, shuffle=[2, 0, 1])
+        final = [r for r in results if r is not None]
+        assert len(final) == 1
+        assert final[0][1] == payload
+
+    def test_duplicate_fragments_harmless(self):
+        payload = b"Z" * 1200
+        frames = fragment_datagram(make_header(len(payload)), payload, mtu=576)
+        reassembler = Reassembler()
+        pieces = []
+        for frame in frames:
+            header = IPv4Header.parse(frame[:20])
+            pieces.append((header, frame[20:]))
+        reassembler.accept(*pieces[0])
+        reassembler.accept(*pieces[0])  # duplicate
+        result = None
+        for piece in pieces[1:]:
+            result = reassembler.accept(*piece) or result
+        assert result is not None and result[1] == payload
+
+    def test_interleaved_datagrams(self):
+        a_payload = b"A" * 1200
+        b_payload = b"B" * 1200
+        a_frames = fragment_datagram(make_header(1200, ident=1), a_payload, 576)
+        b_frames = fragment_datagram(make_header(1200, ident=2), b_payload, 576)
+        reassembler = Reassembler()
+        done = {}
+        for frame in [x for pair in zip(a_frames, b_frames) for x in pair]:
+            header = IPv4Header.parse(frame[:20])
+            result = reassembler.accept(header, frame[20:])
+            if result:
+                done[result[0].identification] = result[1]
+        assert done == {1: a_payload, 2: b_payload}
+
+    def test_eviction_at_capacity(self):
+        reassembler = Reassembler(max_datagrams=1)
+        a = fragment_datagram(make_header(1200, ident=1), b"A" * 1200, 576)
+        b = fragment_datagram(make_header(1200, ident=2), b"B" * 1200, 576)
+        ha = IPv4Header.parse(a[0][:20])
+        reassembler.accept(ha, a[0][20:])
+        hb = IPv4Header.parse(b[0][:20])
+        reassembler.accept(hb, b[0][20:])  # evicts datagram 1
+        assert reassembler.evicted == 1
+
+    def test_byte_flood_rejected(self):
+        reassembler = Reassembler(max_bytes_per_datagram=1000)
+        frames = fragment_datagram(make_header(1200, ident=3), b"C" * 1200, 576)
+        outcome = None
+        for frame in frames:
+            header = IPv4Header.parse(frame[:20])
+            outcome = reassembler.accept(header, frame[20:])
+        assert outcome is None
+        assert reassembler.rejected >= 1
+
+    @given(
+        size=st.integers(1, 4000),
+        mtu=st.sampled_from([68, 256, 576, 1500]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reassembly_roundtrip_property(self, size, mtu, seed):
+        """Property: fragment + reassemble (any arrival order) is the
+        identity on payloads."""
+        import numpy as np
+
+        payload = bytes((i * 31 + seed) % 256 for i in range(size))
+        frames = fragment_datagram(make_header(size, ident=seed), payload, mtu)
+        order = np.random.default_rng(seed).permutation(len(frames))
+        reassembler = Reassembler()
+        final = None
+        for index in order:
+            header = IPv4Header.parse(frames[index][:20])
+            result = reassembler.accept(header, frames[index][20:])
+            if result is not None:
+                final = result
+        assert final is not None
+        assert final[1] == payload
+
+
+class TestStackReassembly:
+    def test_fragmented_udp_through_stack(self):
+        """A UDP datagram fragmented on the wire reassembles in IpLayer
+        and delivers to the socket."""
+        from repro.protocols import build_udp_receive_stack
+        from repro.protocols.stack import IpLayer
+        from repro.protocols.udp import build_datagram
+        from repro.protocols import ethernet
+        from repro.protocols.ethernet import MacAddress
+
+        layers, sockets, stats = build_udp_receive_stack("10.0.0.1", ports=(9999,))
+        # Swap in an IpLayer with reassembly enabled.
+        layers[1] = IpLayer(
+            stats, IPv4Address.parse("10.0.0.1"), reassembler=Reassembler()
+        )
+        payload = bytes(range(256)) * 4
+        datagram = build_datagram(
+            5555, 9999, payload,
+            src=IPv4Address.parse("10.0.0.9"), dst=IPv4Address.parse("10.0.0.1"),
+        )
+        header = IPv4Header(
+            src=IPv4Address.parse("10.0.0.9"),
+            dst=IPv4Address.parse("10.0.0.1"),
+            protocol=PROTO_UDP,
+            total_length=20 + len(datagram),
+            identification=77,
+        )
+        frames = [
+            ethernet.frame(
+                MacAddress.parse("02:00:00:00:00:02"),
+                MacAddress.parse("02:00:00:00:00:01"),
+                ethernet.ETHERTYPE_IP,
+                fragment,
+            )
+            for fragment in fragment_datagram(header, datagram, mtu=576)
+        ]
+        assert len(frames) > 1
+        scheduler = ConventionalScheduler(layers)
+        scheduler.run_to_completion([Message(payload=f) for f in frames])
+        assert stats.fragments == len(frames)
+        assert sockets[9999].receive_buffer.read() == payload

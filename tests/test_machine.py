@@ -1,0 +1,287 @@
+"""Tests for the repro.machine package."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheGeometry, MachineSpec
+from repro.errors import ConfigurationError, LayoutError
+from repro.machine import (
+    CPU,
+    BufferPool,
+    ExecutionProfile,
+    FootprintExecutor,
+    MemoryLayout,
+    PlacedLayer,
+    Program,
+    Region,
+    RegionKind,
+)
+
+
+class TestRegion:
+    def test_unplaced_raises(self):
+        region = Region("f", 100)
+        assert not region.placed
+        with pytest.raises(LayoutError):
+            region.require_base()
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(LayoutError):
+            Region("f", 0)
+
+    def test_line_numbers(self):
+        region = Region("f", 64, base=32)
+        assert list(region.line_numbers(32)) == [1, 2]
+
+    def test_line_numbers_unaligned_end(self):
+        region = Region("f", 33, base=0)
+        assert list(region.line_numbers(32)) == [0, 1]
+
+    def test_contains(self):
+        region = Region("f", 100, base=1000)
+        assert region.contains(1000)
+        assert region.contains(1099)
+        assert not region.contains(1100)
+
+
+class TestProgram:
+    def test_duplicate_name_rejected(self):
+        program = Program()
+        program.add_code("f", 100)
+        with pytest.raises(LayoutError):
+            program.add_code("f", 200)
+
+    def test_lookup(self):
+        program = Program()
+        program.add_code("f", 100)
+        assert program.region("f").size == 100
+        with pytest.raises(LayoutError):
+            program.region("g")
+
+    def test_kind_filters_and_totals(self):
+        program = Program()
+        program.add_code("f", 100)
+        program.add_data("d", 50)
+        assert program.total_size() == 150
+        assert program.total_size(RegionKind.CODE) == 100
+        assert [r.name for r in program.data_regions()] == ["d"]
+
+    def test_function_of_addr(self):
+        program = Program()
+        region = program.add_code("f", 100)
+        region.base = 1000
+        assert program.function_of_addr(1050) == "f"
+        assert program.function_of_addr(2000) is None
+
+
+class TestMemoryLayout:
+    def test_sequential_packs_aligned(self):
+        layout = MemoryLayout(line_size=32)
+        a = layout.place_sequential(Region("a", 100))
+        b = layout.place_sequential(Region("b", 100))
+        assert a.base == 0
+        assert b.base == 128  # 100 rounded up to the next 32-byte line
+        assert b.base % 32 == 0
+
+    def test_random_no_overlap(self):
+        layout = MemoryLayout(line_size=32, rng=np.random.default_rng(3), span=1 << 16)
+        regions = [Region(f"r{i}", 1000) for i in range(20)]
+        layout.place_all_random(regions)
+        intervals = sorted((r.base, r.base + r.size) for r in regions)
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    def test_random_is_line_aligned(self):
+        layout = MemoryLayout(line_size=32, rng=np.random.default_rng(4))
+        region = layout.place_random(Region("r", 64))
+        assert region.base % 32 == 0
+
+    def test_random_reproducible_with_seed(self):
+        bases = []
+        for _ in range(2):
+            layout = MemoryLayout(line_size=32, rng=np.random.default_rng(99))
+            bases.append(layout.place_random(Region("r", 64)).base)
+        assert bases[0] == bases[1]
+
+    def test_double_placement_rejected(self):
+        layout = MemoryLayout()
+        region = layout.place_sequential(Region("a", 64))
+        with pytest.raises(LayoutError):
+            layout.place_sequential(region)
+
+    def test_region_too_big_for_window(self):
+        layout = MemoryLayout(span=1024)
+        with pytest.raises(LayoutError):
+            layout.place_random(Region("big", 4096))
+
+    def test_full_window_raises(self):
+        layout = MemoryLayout(line_size=32, span=128)
+        layout.place_random(Region("a", 128))
+        with pytest.raises(LayoutError):
+            layout.place_random(Region("b", 32), max_attempts=10)
+
+
+class TestCPU:
+    def test_execute_accumulates(self):
+        cpu = CPU()
+        cpu.execute(100)
+        assert cpu.cycles == 100
+        assert cpu.stall_cycles == 0
+
+    def test_miss_charges_penalty(self):
+        cpu = CPU()
+        cpu.fetch_code_span(0, 32)
+        assert cpu.cycles == 20
+        assert cpu.stall_cycles == 20
+        cpu.fetch_code_span(0, 32)  # now warm
+        assert cpu.cycles == 20
+
+    def test_write_never_stalls(self):
+        cpu = CPU()
+        cpu.write_data_span(0, 4096)
+        assert cpu.cycles == 0
+        # But the written lines are now resident.
+        assert cpu.read_data_span(0, 4096) == 0
+
+    def test_time_seconds(self):
+        cpu = CPU(MachineSpec(clock_hz=100e6))
+        cpu.execute(100e6)
+        assert cpu.time_seconds == pytest.approx(1.0)
+
+    def test_advance_to_cycle(self):
+        cpu = CPU()
+        cpu.advance_to_cycle(500)
+        assert cpu.cycles == 500
+        cpu.advance_to_cycle(100)  # never goes backwards
+        assert cpu.cycles == 500
+
+    def test_cold_start_flushes(self):
+        cpu = CPU()
+        cpu.fetch_code_span(0, 32)
+        cpu.cold_start()
+        assert cpu.fetch_code_span(0, 32) == 1
+
+    def test_reset(self):
+        cpu = CPU()
+        cpu.fetch_code_span(0, 32)
+        cpu.reset()
+        assert cpu.cycles == 0
+        assert cpu.icache_misses == 0
+
+    def test_custom_miss_penalty(self):
+        spec = MachineSpec(miss_penalty=10)
+        cpu = CPU(spec)
+        cpu.read_data_span(0, 32)
+        assert cpu.cycles == 10
+
+
+class TestExecutionProfile:
+    def test_paper_defaults(self):
+        # "In total 1652 cycles of instruction processing are executed
+        # for each layer" for a 552-byte message.
+        profile = ExecutionProfile()
+        assert profile.compute_cycles(552) == pytest.approx(1652.0)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionProfile(code_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionProfile(base_cycles=-1)
+
+
+class TestFootprintExecutor:
+    def make(self, seed=1):
+        cpu = CPU()
+        layout = MemoryLayout(rng=np.random.default_rng(seed))
+        layer = PlacedLayer("L1", ExecutionProfile(), layout)
+        pool = BufferPool(layout, 4, 1536)
+        return cpu, layer, pool, FootprintExecutor(cpu)
+
+    def test_cold_invocation_cost(self):
+        cpu, layer, pool, executor = self.make()
+        buffer = pool.acquire()
+        cycles = executor.run_layer(layer, buffer, 552)
+        # 192 code lines + 8 data lines + 18 message lines, all cold:
+        # 218 misses x 20 + 1652 compute = 6012 cycles.
+        assert cycles == pytest.approx(6012.0)
+        assert cpu.icache_misses == 192
+        assert cpu.dcache_misses == 26
+
+    def test_warm_invocation_cost(self):
+        _cpu, layer, pool, executor = self.make()
+        buffer = pool.acquire()
+        executor.run_layer(layer, buffer, 552)
+        warm = executor.run_layer(layer, buffer, 552)
+        assert warm == pytest.approx(1652.0)
+
+    def test_queue_overhead(self):
+        _cpu, layer, pool, executor = self.make()
+        buffer = pool.acquire()
+        executor.run_layer(layer, buffer, 552)
+        with_queue = executor.run_layer(layer, buffer, 552, queue_overhead=True)
+        assert with_queue == pytest.approx(1652.0 + 40)
+
+    def test_zero_byte_message(self):
+        _cpu, layer, pool, executor = self.make()
+        buffer = pool.acquire()
+        cycles = executor.run_layer(layer, buffer, 0)
+        # 200 misses (code + layer data only) x 20 + 1376 base cycles.
+        assert cycles == pytest.approx(200 * 20 + 1376.0)
+
+    def test_message_exceeding_buffer_raises(self):
+        _cpu, _layer, pool, executor = self.make()
+        buffer = pool.acquire()
+        with pytest.raises(LayoutError):
+            buffer.lines_for(4096)
+
+    def test_two_layers_thrash_8kb_icache(self):
+        # Two 6 KB layers cannot both stay in an 8 KB cache: running
+        # L1, L2, L1, L2 must evict and refetch (the paper's core claim
+        # about the conventional schedule).
+        cpu = CPU()
+        layout = MemoryLayout(rng=np.random.default_rng(5))
+        l1 = PlacedLayer("L1", ExecutionProfile(), layout)
+        l2 = PlacedLayer("L2", ExecutionProfile(), layout)
+        pool = BufferPool(layout, 4, 1536)
+        executor = FootprintExecutor(cpu)
+        buffer = pool.acquire()
+        for layer in (l1, l2, l1, l2):
+            executor.run_layer(layer, buffer, 552)
+        # With random placement two 6 KB regions overlap substantially
+        # in a 256-line cache; the second round must re-miss heavily.
+        assert cpu.icache_misses > 2 * 192 + 100
+
+    def test_batch_amortizes_code_misses(self):
+        # Processing 10 messages at one layer costs far fewer I-misses
+        # per message than alternating layers (the LDLP effect).
+        cpu = CPU()
+        layout = MemoryLayout(rng=np.random.default_rng(6))
+        layer = PlacedLayer("L1", ExecutionProfile(), layout)
+        pool = BufferPool(layout, 14, 1536)
+        executor = FootprintExecutor(cpu)
+        for _ in range(10):
+            executor.run_layer(layer, pool.acquire(), 552)
+        assert cpu.icache_misses == 192  # code fetched exactly once
+
+
+class TestBufferPool:
+    def test_round_robin(self):
+        layout = MemoryLayout(rng=np.random.default_rng(2))
+        pool = BufferPool(layout, 3, 1536)
+        first = pool.acquire()
+        pool.acquire()
+        pool.acquire()
+        assert pool.acquire() is first
+
+    def test_rejects_empty_pool(self):
+        layout = MemoryLayout()
+        with pytest.raises(ConfigurationError):
+            BufferPool(layout, 0, 1536)
+
+    def test_lines_for_partial_message(self):
+        layout = MemoryLayout(line_size=32, rng=np.random.default_rng(2))
+        pool = BufferPool(layout, 1, 1536)
+        buffer = pool.acquire()
+        assert buffer.lines_for(552).size == 18
+        assert buffer.lines_for(0).size == 0
+        assert buffer.lines_for(1).size == 1

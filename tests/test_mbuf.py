@@ -1,0 +1,259 @@
+"""Tests for repro.buffers (mbuf chains and the pool)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import CLUSTER_SIZE, MLEN, Mbuf, MbufChain, MbufError, MbufPool
+
+
+class TestMbuf:
+    def test_empty_has_no_data(self):
+        mbuf = Mbuf.empty()
+        assert mbuf.length == 0
+        assert bytes(mbuf.data()) == b""
+
+    def test_from_bytes(self):
+        mbuf = Mbuf.from_bytes(b"hello")
+        assert bytes(mbuf.data()) == b"hello"
+
+    def test_cluster_allocation_for_large_data(self):
+        mbuf = Mbuf.from_bytes(b"x" * 1000)
+        assert mbuf.cluster
+        assert mbuf.capacity == CLUSTER_SIZE
+
+    def test_small_data_uses_plain_mbuf(self):
+        mbuf = Mbuf.from_bytes(b"x" * 50)
+        assert not mbuf.cluster
+        assert mbuf.capacity == MLEN
+
+    def test_oversized_rejected(self):
+        with pytest.raises(MbufError):
+            Mbuf.from_bytes(b"x" * (CLUSTER_SIZE + 1))
+
+    def test_prepend_uses_leading_space(self):
+        mbuf = Mbuf.from_bytes(b"payload", leading_space=16)
+        mbuf.prepend(b"HDR:")
+        assert bytes(mbuf.data()) == b"HDR:payload"
+
+    def test_prepend_without_space_fails(self):
+        mbuf = Mbuf.from_bytes(b"payload", leading_space=0)
+        with pytest.raises(MbufError):
+            mbuf.prepend(b"HDR:")
+
+    def test_strip(self):
+        mbuf = Mbuf.from_bytes(b"headerdata")
+        assert mbuf.strip(6) == b"header"
+        assert bytes(mbuf.data()) == b"data"
+
+    def test_strip_too_much_fails(self):
+        mbuf = Mbuf.from_bytes(b"abc")
+        with pytest.raises(MbufError):
+            mbuf.strip(4)
+
+    def test_append(self):
+        mbuf = Mbuf.from_bytes(b"abc")
+        mbuf.append(b"def")
+        assert bytes(mbuf.data()) == b"abcdef"
+
+    def test_trim_tail(self):
+        mbuf = Mbuf.from_bytes(b"abcdef")
+        mbuf.trim_tail(2)
+        assert bytes(mbuf.data()) == b"abcd"
+
+    def test_bad_leading_space(self):
+        with pytest.raises(MbufError):
+            Mbuf.empty(leading_space=MLEN + 1)
+
+
+class TestMbufChain:
+    def test_from_bytes_roundtrip(self):
+        chain = MbufChain.from_bytes(b"hello world")
+        assert bytes(chain) == b"hello world"
+        assert len(chain) == 11
+
+    def test_segmented_construction(self):
+        chain = MbufChain.from_bytes(b"0123456789", segment_size=3)
+        assert chain.segment_count == 4
+        assert bytes(chain) == b"0123456789"
+
+    def test_empty_chain(self):
+        chain = MbufChain.from_bytes(b"")
+        assert len(chain) == 0
+        assert bytes(chain) == b""
+
+    def test_bad_segment_size(self):
+        with pytest.raises(MbufError):
+            MbufChain.from_bytes(b"abc", segment_size=0)
+
+    def test_peek_across_segments(self):
+        chain = MbufChain.from_bytes(b"0123456789", segment_size=3)
+        assert chain.peek(4, offset=2) == b"2345"
+
+    def test_peek_beyond_end_fails(self):
+        chain = MbufChain.from_bytes(b"abc")
+        with pytest.raises(MbufError):
+            chain.peek(4)
+
+    def test_prepend_and_strip_header(self):
+        chain = MbufChain.from_bytes(b"payload", leading_space=16)
+        chain.prepend(b"HDR!")
+        assert bytes(chain) == b"HDR!payload"
+        assert chain.strip(4) == b"HDR!"
+        assert bytes(chain) == b"payload"
+
+    def test_prepend_without_space_adds_mbuf(self):
+        chain = MbufChain.from_bytes(b"payload", leading_space=0)
+        before = chain.segment_count
+        chain.prepend(b"H" * 64)
+        assert chain.segment_count == before + 1
+        assert bytes(chain).startswith(b"H" * 64)
+
+    def test_strip_across_segments(self):
+        chain = MbufChain.from_bytes(b"0123456789", segment_size=3)
+        assert chain.strip(5) == b"01234"
+        assert bytes(chain) == b"56789"
+
+    def test_pullup_noop_when_contiguous(self):
+        chain = MbufChain.from_bytes(b"0123456789")
+        chain.pullup(5)
+        assert chain.segment_count == 1
+
+    def test_pullup_gathers_segments(self):
+        chain = MbufChain.from_bytes(b"0123456789", segment_size=2)
+        chain.pullup(5)
+        assert chain.mbufs[0].length >= 5
+        assert bytes(chain) == b"0123456789"
+
+    def test_append_chain_moves_ownership(self):
+        a = MbufChain.from_bytes(b"abc")
+        b = MbufChain.from_bytes(b"def")
+        a.append_chain(b)
+        assert bytes(a) == b"abcdef"
+        assert b.segment_count == 0
+
+    def test_adj_front(self):
+        chain = MbufChain.from_bytes(b"0123456789")
+        chain.adj(3)
+        assert bytes(chain) == b"3456789"
+
+    def test_adj_back(self):
+        chain = MbufChain.from_bytes(b"0123456789", segment_size=4)
+        chain.adj(-3)
+        assert bytes(chain) == b"0123456"
+
+    def test_adj_too_much_fails(self):
+        chain = MbufChain.from_bytes(b"ab")
+        with pytest.raises(MbufError):
+            chain.adj(-5)
+
+    def test_split(self):
+        chain = MbufChain.from_bytes(b"0123456789", segment_size=4)
+        tail = chain.split(6)
+        assert bytes(chain) == b"012345"
+        assert bytes(tail) == b"6789"
+
+    def test_split_on_boundary(self):
+        chain = MbufChain.from_bytes(b"01234567", segment_size=4)
+        tail = chain.split(4)
+        assert bytes(chain) == b"0123"
+        assert bytes(tail) == b"4567"
+
+    def test_compact(self):
+        chain = MbufChain.from_bytes(b"0123456789", segment_size=1)
+        chain.compact()
+        assert chain.segment_count == 1
+        assert bytes(chain) == b"0123456789"
+
+    @given(
+        data=st.binary(min_size=0, max_size=400),
+        segment=st.integers(1, 64),
+        cut=st.integers(0, 400),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_concat_is_identity(self, data, segment, cut):
+        """Property: split then append reconstructs the original bytes."""
+        chain = MbufChain.from_bytes(data, segment_size=segment)
+        cut = min(cut, len(data))
+        tail = chain.split(cut)
+        chain.append_chain(tail)
+        assert bytes(chain) == data
+
+    @given(
+        data=st.binary(min_size=1, max_size=300),
+        segment=st.integers(1, 48),
+        front=st.integers(0, 100),
+        back=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adj_matches_slicing(self, data, segment, front, back):
+        """Property: m_adj from both ends equals python slicing."""
+        if front + back > len(data):
+            return
+        chain = MbufChain.from_bytes(data, segment_size=segment)
+        chain.adj(front)
+        chain.adj(-back)
+        expected = data[front : len(data) - back]
+        assert bytes(chain) == expected
+
+
+class TestMbufPool:
+    def test_alloc_free_cycle(self):
+        pool = MbufPool(limit=4)
+        mbuf = pool.alloc()
+        assert pool.in_use == 1
+        pool.free(mbuf)
+        assert pool.in_use == 0
+
+    def test_recycling(self):
+        pool = MbufPool(limit=4)
+        first = pool.alloc()
+        pool.free(first)
+        second = pool.alloc()
+        assert second is first
+        assert pool.stats.recycled == 1
+
+    def test_recycle_resets_window(self):
+        pool = MbufPool()
+        mbuf = pool.alloc()
+        mbuf.append(b"junk")
+        pool.free(mbuf)
+        again = pool.alloc(leading_space=8)
+        assert again.length == 0
+        assert again.offset == 8
+
+    def test_exhaustion(self):
+        pool = MbufPool(limit=2)
+        pool.alloc()
+        pool.alloc()
+        with pytest.raises(MbufError):
+            pool.alloc()
+
+    def test_double_free_detected(self):
+        pool = MbufPool()
+        mbuf = pool.alloc()
+        pool.free(mbuf)
+        with pytest.raises(MbufError):
+            pool.free(mbuf)
+
+    def test_cluster_and_plain_not_mixed(self):
+        pool = MbufPool()
+        plain = pool.alloc(cluster=False)
+        pool.free(plain)
+        cluster = pool.alloc(cluster=True)
+        assert cluster is not plain
+        assert cluster.capacity == CLUSTER_SIZE
+
+    def test_free_chain(self):
+        pool = MbufPool()
+        chain = MbufChain([pool.alloc(), pool.alloc()])
+        pool.free_chain(chain)
+        assert pool.in_use == 0
+        assert chain.segment_count == 0
+
+    def test_peak_tracking(self):
+        pool = MbufPool()
+        mbufs = [pool.alloc() for _ in range(3)]
+        for mbuf in mbufs:
+            pool.free(mbuf)
+        assert pool.stats.peak_in_use == 3

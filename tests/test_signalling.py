@@ -1,0 +1,218 @@
+"""Tests for the mini-Q.93B signalling protocol and switch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConventionalScheduler, LDLPScheduler, Message
+from repro.errors import SignallingError
+from repro.signalling import (
+    CallState,
+    InfoElement,
+    InfoElementId,
+    MessageType,
+    SignallingMessage,
+    build_switch,
+    connect,
+    release,
+    release_complete,
+    saal_frame,
+    saal_unframe,
+    setup,
+)
+
+
+class TestWireFormat:
+    def test_setup_roundtrip(self):
+        message = setup(42, called_party="switch-9.example", calling_party="me")
+        parsed = SignallingMessage.parse(message.serialize())
+        assert parsed.msg_type is MessageType.SETUP
+        assert parsed.call_ref == 42
+        assert parsed.require(InfoElementId.CALLED_PARTY).value == b"switch-9.example"
+        assert parsed.find(InfoElementId.CALLING_PARTY).value == b"me"
+
+    def test_direction_flag(self):
+        response = connect(7, vpi=1, vci=33)
+        parsed = SignallingMessage.parse(response.serialize())
+        assert not parsed.from_origin
+        assert parsed.call_ref == 7
+
+    def test_release_roundtrip(self):
+        parsed = SignallingMessage.parse(release(9, cause=31).serialize())
+        assert parsed.msg_type is MessageType.RELEASE
+        assert parsed.require(InfoElementId.CAUSE).value == bytes([31])
+
+    def test_missing_mandatory_ie(self):
+        message = SignallingMessage(MessageType.SETUP, 1)
+        with pytest.raises(SignallingError):
+            message.require(InfoElementId.CALLED_PARTY)
+
+    def test_bad_discriminator(self):
+        raw = bytearray(setup(1, "x").serialize())
+        raw[0] = 0x08
+        with pytest.raises(SignallingError):
+            SignallingMessage.parse(bytes(raw))
+
+    def test_unknown_message_type(self):
+        raw = bytearray(setup(1, "x").serialize())
+        raw[5] = 0xEE
+        with pytest.raises(SignallingError):
+            SignallingMessage.parse(bytes(raw))
+
+    def test_truncated_body(self):
+        raw = setup(1, "abcdef").serialize()
+        with pytest.raises(SignallingError):
+            SignallingMessage.parse(raw[:-3])
+
+    def test_truncated_ie(self):
+        good = setup(1, "abc").serialize()
+        # Shorten the body but fix the header length to lie.
+        raw = bytearray(good)
+        raw = raw[:-1]
+        with pytest.raises(SignallingError):
+            SignallingMessage.parse(bytes(raw))
+
+    def test_call_ref_range(self):
+        with pytest.raises(SignallingError):
+            SignallingMessage(MessageType.SETUP, 1 << 23)
+
+    @given(
+        call_ref=st.integers(0, (1 << 23) - 1),
+        party=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=40,
+        ),
+        pcr=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, call_ref, party, pcr):
+        message = setup(call_ref, party, peak_cell_rate=pcr)
+        parsed = SignallingMessage.parse(message.serialize())
+        assert parsed.call_ref == call_ref
+        assert parsed.require(InfoElementId.CALLED_PARTY).value == party.encode()
+
+
+class TestSaal:
+    def test_roundtrip(self):
+        payload = setup(1, "dest").serialize()
+        frame = saal_frame(payload, sequence=5)
+        unframed, sequence = saal_unframe(frame)
+        assert unframed == payload
+        assert sequence == 5
+
+    def test_crc_detects_corruption(self):
+        frame = bytearray(saal_frame(b"payload", 1))
+        frame[2] ^= 0x01
+        with pytest.raises(SignallingError):
+            saal_unframe(bytes(frame))
+
+    def test_short_frame(self):
+        with pytest.raises(SignallingError):
+            saal_unframe(b"abc")
+
+
+def feed(switch, scheduler, messages, start_seq=0):
+    frames = [
+        Message(payload=saal_frame(m.serialize(), start_seq + i))
+        for i, m in enumerate(messages)
+    ]
+    scheduler.run_to_completion(frames)
+
+
+class TestSwitch:
+    def test_setup_connect(self):
+        switch = build_switch()
+        scheduler = ConventionalScheduler(switch.layers)
+        feed(switch, scheduler, [setup(1, "host-a")])
+        assert switch.stats.setups == 1
+        assert switch.active_calls == 1
+        response = switch.transmitted[0]
+        assert response.msg_type is MessageType.CONNECT
+        assert response.call_ref == 1
+
+    def test_vci_allocation_unique(self):
+        switch = build_switch()
+        scheduler = ConventionalScheduler(switch.layers)
+        feed(switch, scheduler, [setup(i, f"host-{i}") for i in range(5)])
+        vcis = {
+            record.vci for record in switch.call_control.calls.values()
+        }
+        assert len(vcis) == 5
+
+    def test_release_completes(self):
+        switch = build_switch()
+        scheduler = ConventionalScheduler(switch.layers)
+        feed(switch, scheduler, [setup(1, "host-a"), release(1)], start_seq=0)
+        assert switch.stats.releases == 1
+        assert switch.active_calls == 0
+        assert switch.transmitted[-1].msg_type is MessageType.RELEASE_COMPLETE
+
+    def test_duplicate_setup_rejected(self):
+        switch = build_switch()
+        scheduler = ConventionalScheduler(switch.layers)
+        feed(switch, scheduler, [setup(1, "a"), setup(1, "b")])
+        assert switch.stats.setups == 1
+        assert switch.stats.rejected == 1
+
+    def test_release_unknown_call_rejected(self):
+        switch = build_switch()
+        scheduler = ConventionalScheduler(switch.layers)
+        feed(switch, scheduler, [release(77)])
+        assert switch.stats.rejected == 1
+        assert switch.transmitted[0].msg_type is MessageType.RELEASE_COMPLETE
+
+    def test_admission_limit(self):
+        switch = build_switch(max_calls=2)
+        scheduler = ConventionalScheduler(switch.layers)
+        feed(switch, scheduler, [setup(i, "h") for i in range(4)])
+        assert switch.stats.setups == 2
+        assert switch.stats.rejected == 2
+
+    def test_corrupt_frame_dropped(self):
+        switch = build_switch()
+        scheduler = ConventionalScheduler(switch.layers)
+        frame = bytearray(saal_frame(setup(1, "x").serialize(), 0))
+        frame[4] ^= 0xFF
+        scheduler.run_to_completion([Message(payload=bytes(frame))])
+        assert switch.stats.bad_frames == 1
+        assert switch.stats.setups == 0
+
+    def test_sequence_gap_counted(self):
+        switch = build_switch()
+        scheduler = ConventionalScheduler(switch.layers)
+        feed(switch, scheduler, [setup(1, "a")], start_seq=0)
+        feed(switch, scheduler, [setup(2, "b")], start_seq=5)  # gap
+        assert switch.stats.out_of_sequence == 1
+        assert switch.stats.setups == 2  # still processed
+
+    def test_ldlp_equals_conventional(self):
+        """The switch behaves identically under LDLP batching."""
+        workload = []
+        for i in range(40):
+            workload.append(setup(i, f"host-{i % 7}"))
+            if i % 2:
+                workload.append(release(i))
+        outcomes = []
+        for cls in (ConventionalScheduler, LDLPScheduler):
+            switch = build_switch()
+            scheduler = cls(switch.layers)
+            feed(switch, scheduler, workload)
+            outcomes.append(
+                (
+                    switch.stats.setups,
+                    switch.stats.releases,
+                    switch.active_calls,
+                    [(m.msg_type, m.call_ref) for m in switch.transmitted],
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_call_record_fields(self):
+        switch = build_switch()
+        scheduler = ConventionalScheduler(switch.layers)
+        feed(switch, scheduler, [setup(3, "far-end")])
+        record = switch.call_control.calls[3]
+        assert record.state is CallState.ACTIVE
+        assert record.called_party == "far-end"
+        assert record.vci >= 32

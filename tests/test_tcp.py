@@ -1,0 +1,303 @@
+"""Tests for repro.protocols.tcp."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChecksumError, ProtocolError
+from repro.protocols.ip import IPv4Address
+from repro.protocols.tcp import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_RST,
+    FLAG_SYN,
+    PcbTable,
+    TcpHeader,
+    TcpReceiver,
+    TcpState,
+    seq_add,
+    seq_diff,
+    seq_le,
+    seq_lt,
+)
+
+LOCAL = IPv4Address.parse("10.0.0.1")
+REMOTE = IPv4Address.parse("10.0.0.9")
+
+
+class TestSequenceArithmetic:
+    def test_wraparound_add(self):
+        assert seq_add(0xFFFFFFFF, 1) == 0
+
+    def test_diff_signed(self):
+        assert seq_diff(5, 3) == 2
+        assert seq_diff(3, 5) == -2
+
+    def test_diff_across_wrap(self):
+        assert seq_diff(2, 0xFFFFFFFE) == 4
+        assert seq_diff(0xFFFFFFFE, 2) == -4
+
+    def test_ordering_across_wrap(self):
+        assert seq_lt(0xFFFFFFF0, 0x10)
+        assert not seq_lt(0x10, 0xFFFFFFF0)
+        assert seq_le(7, 7)
+
+    @given(a=st.integers(0, 2**32 - 1), delta=st.integers(0, 2**30))
+    @settings(max_examples=60, deadline=None)
+    def test_add_then_diff(self, a, delta):
+        """Property: diff(add(a, d), a) == d for d within half the space."""
+        assert seq_diff(seq_add(a, delta), a) == delta
+
+
+class TestTcpHeader:
+    def test_roundtrip(self):
+        header = TcpHeader(
+            src_port=1234, dst_port=80, seq=111, ack=222, flags=FLAG_ACK,
+            window=4096,
+        )
+        parsed, payload = TcpHeader.parse(header.serialize(b"hello"))
+        assert parsed.src_port == 1234
+        assert parsed.seq == 111
+        assert parsed.window == 4096
+        assert payload == b"hello"
+
+    def test_checksum_roundtrip(self):
+        header = TcpHeader(src_port=1, dst_port=2, seq=0, ack=0, flags=FLAG_ACK)
+        wire = header.serialize(b"data", src=REMOTE, dst=LOCAL)
+        parsed, payload = TcpHeader.parse(wire, src=REMOTE, dst=LOCAL, verify=True)
+        assert payload == b"data"
+
+    def test_corrupt_checksum_detected(self):
+        header = TcpHeader(src_port=1, dst_port=2, seq=0, ack=0, flags=FLAG_ACK)
+        wire = bytearray(header.serialize(b"data", src=REMOTE, dst=LOCAL))
+        wire[-1] ^= 0x01
+        with pytest.raises(ChecksumError):
+            TcpHeader.parse(bytes(wire), src=REMOTE, dst=LOCAL, verify=True)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            TcpHeader.parse(b"\x00" * 12)
+
+    def test_bad_offset_rejected(self):
+        header = TcpHeader(src_port=1, dst_port=2, seq=0, ack=0, flags=0)
+        raw = bytearray(header.serialize())
+        raw[12] = 2 << 4  # offset 8 bytes < 20
+        with pytest.raises(ProtocolError):
+            TcpHeader.parse(bytes(raw))
+
+    def test_options_roundtrip(self):
+        header = TcpHeader(
+            src_port=1, dst_port=2, seq=0, ack=0, flags=FLAG_SYN,
+            options=b"\x02\x04\x05\xb4",
+        )
+        parsed, _ = TcpHeader.parse(header.serialize())
+        assert parsed.options == b"\x02\x04\x05\xb4"
+
+    def test_unpadded_options_rejected(self):
+        header = TcpHeader(
+            src_port=1, dst_port=2, seq=0, ack=0, flags=0, options=b"\x01"
+        )
+        with pytest.raises(ProtocolError):
+            header.serialize()
+
+
+def handshake(receiver: TcpReceiver, iss: int = 0x9000):
+    """Run the client side of a handshake; returns the connection PCB."""
+    syn = TcpHeader(src_port=5555, dst_port=80, seq=iss, ack=0, flags=FLAG_SYN)
+    result = receiver.segment_arrives(syn, b"", src=REMOTE, dst=LOCAL)
+    synack = result.emitted[0]
+    assert synack.has(FLAG_SYN) and synack.has(FLAG_ACK)
+    ack = TcpHeader(
+        src_port=5555, dst_port=80, seq=seq_add(iss, 1),
+        ack=seq_add(synack.seq, 1), flags=FLAG_ACK,
+    )
+    result = receiver.segment_arrives(ack, b"", src=REMOTE, dst=LOCAL)
+    assert result.established
+    pcb = receiver.table.lookup(LOCAL, 80, REMOTE, 5555)
+    assert pcb is not None and pcb.state is TcpState.ESTABLISHED
+    return pcb
+
+
+def data_segment(pcb, payload: bytes, seq: int | None = None) -> TcpHeader:
+    return TcpHeader(
+        src_port=5555, dst_port=80,
+        seq=pcb.rcv_nxt if seq is None else seq,
+        ack=pcb.snd_nxt, flags=FLAG_ACK,
+    )
+
+
+class TestHandshake:
+    def make(self):
+        receiver = TcpReceiver()
+        receiver.listen(LOCAL, 80)
+        return receiver
+
+    def test_passive_open(self):
+        receiver = self.make()
+        pcb = handshake(receiver)
+        assert pcb.remote_port == 5555
+
+    def test_syn_to_closed_port_gets_rst(self):
+        receiver = self.make()
+        syn = TcpHeader(src_port=5555, dst_port=81, seq=1, ack=0, flags=FLAG_SYN)
+        result = receiver.segment_arrives(syn, b"", src=REMOTE, dst=LOCAL)
+        assert result.emitted[0].has(FLAG_RST)
+        assert receiver.stats.resets_sent == 1
+
+    def test_rst_is_not_answered(self):
+        receiver = self.make()
+        rst = TcpHeader(src_port=5555, dst_port=81, seq=1, ack=0, flags=FLAG_RST)
+        result = receiver.segment_arrives(rst, b"", src=REMOTE, dst=LOCAL)
+        assert result.emitted == []
+
+    def test_non_syn_to_listener_gets_rst(self):
+        receiver = self.make()
+        ack = TcpHeader(src_port=5555, dst_port=80, seq=1, ack=1, flags=FLAG_ACK)
+        result = receiver.segment_arrives(ack, b"", src=REMOTE, dst=LOCAL)
+        assert result.emitted[0].has(FLAG_RST)
+
+
+class TestDataTransfer:
+    def make(self):
+        receiver = TcpReceiver()
+        receiver.listen(LOCAL, 80)
+        pcb = handshake(receiver)
+        return receiver, pcb
+
+    def test_in_order_delivery(self):
+        receiver, pcb = self.make()
+        result = receiver.segment_arrives(
+            data_segment(pcb, b"hello"), b"hello", src=REMOTE, dst=LOCAL
+        )
+        assert result.delivered == b"hello"
+        assert receiver.stats.fastpath_hits == 1
+
+    def test_ack_every_second_segment(self):
+        # "this TCP implementation sends an ACK for every second data
+        # packet" — the trace's common case.
+        receiver, pcb = self.make()
+        acks = 0
+        for index in range(6):
+            result = receiver.segment_arrives(
+                data_segment(pcb, b"x" * 100), b"x" * 100, src=REMOTE, dst=LOCAL
+            )
+            acks += sum(1 for h in result.emitted if h.flags == FLAG_ACK)
+        assert acks == 3
+        assert receiver.stats.delayed_acks == 3
+
+    def test_duplicate_segment_reacked(self):
+        receiver, pcb = self.make()
+        seg = data_segment(pcb, b"abc")
+        receiver.segment_arrives(seg, b"abc", src=REMOTE, dst=LOCAL)
+        result = receiver.segment_arrives(seg, b"abc", src=REMOTE, dst=LOCAL)
+        assert result.delivered == b""
+        assert receiver.stats.duplicates == 1
+        assert result.emitted and result.emitted[0].has(FLAG_ACK)
+
+    def test_out_of_order_buffered_then_merged(self):
+        receiver, pcb = self.make()
+        base = pcb.rcv_nxt
+        # Segment 2 arrives first.
+        ooo = data_segment(pcb, b"22", seq=seq_add(base, 2))
+        result = receiver.segment_arrives(ooo, b"22", src=REMOTE, dst=LOCAL)
+        assert result.delivered == b""
+        assert receiver.stats.out_of_order == 1
+        # Now segment 1: both deliver together.
+        result = receiver.segment_arrives(
+            data_segment(pcb, b"11", seq=base), b"11", src=REMOTE, dst=LOCAL
+        )
+        assert result.delivered == b"1122"
+
+    def test_ack_carries_rcv_nxt(self):
+        receiver, pcb = self.make()
+        receiver.segment_arrives(
+            data_segment(pcb, b"ab"), b"ab", src=REMOTE, dst=LOCAL
+        )
+        result = receiver.segment_arrives(
+            data_segment(pcb, b"cd"), b"cd", src=REMOTE, dst=LOCAL
+        )
+        assert result.emitted[0].ack == pcb.rcv_nxt
+
+    def test_force_ack_flushes_delayed(self):
+        receiver, pcb = self.make()
+        receiver.segment_arrives(
+            data_segment(pcb, b"x"), b"x", src=REMOTE, dst=LOCAL
+        )
+        assert pcb.unacked_segments == 1
+        ack = receiver.force_ack(pcb)
+        assert ack is not None and ack.ack == pcb.rcv_nxt
+        assert receiver.force_ack(pcb) is None
+
+
+class TestTeardown:
+    def test_fin_triggers_fin_ack_and_close(self):
+        receiver = TcpReceiver()
+        receiver.listen(LOCAL, 80)
+        pcb = handshake(receiver)
+        fin = TcpHeader(
+            src_port=5555, dst_port=80, seq=pcb.rcv_nxt, ack=pcb.snd_nxt,
+            flags=FLAG_FIN | FLAG_ACK,
+        )
+        result = receiver.segment_arrives(fin, b"", src=REMOTE, dst=LOCAL)
+        assert any(h.has(FLAG_FIN) for h in result.emitted)
+        assert pcb.state is TcpState.LAST_ACK
+        last_ack = TcpHeader(
+            src_port=5555, dst_port=80, seq=seq_add(fin.seq, 1),
+            ack=pcb.snd_nxt, flags=FLAG_ACK,
+        )
+        result = receiver.segment_arrives(last_ack, b"", src=REMOTE, dst=LOCAL)
+        assert result.closed
+        assert receiver.table.lookup(LOCAL, 80, REMOTE, 5555).state is TcpState.LISTEN
+
+    def test_rst_tears_down(self):
+        receiver = TcpReceiver()
+        receiver.listen(LOCAL, 80)
+        pcb = handshake(receiver)
+        rst = TcpHeader(
+            src_port=5555, dst_port=80, seq=pcb.rcv_nxt, ack=0, flags=FLAG_RST
+        )
+        result = receiver.segment_arrives(rst, b"", src=REMOTE, dst=LOCAL)
+        assert result.closed
+
+
+class TestPcbTable:
+    def test_single_entry_cache_hits(self):
+        # "TCP is able to use its fastpath, and the single-entry PCB
+        # cache hits."
+        receiver = TcpReceiver()
+        receiver.listen(LOCAL, 80)
+        pcb = handshake(receiver)
+        before = receiver.table.cache_hits
+        for _ in range(5):
+            receiver.segment_arrives(
+                data_segment(pcb, b"z"), b"z", src=REMOTE, dst=LOCAL
+            )
+        assert receiver.table.cache_hits >= before + 4
+
+    def test_cache_misses_on_alternating_connections(self):
+        receiver = TcpReceiver()
+        receiver.listen(LOCAL, 80)
+        handshake(receiver)
+        table = receiver.table
+        other = IPv4Address.parse("10.0.0.88")
+        syn = TcpHeader(src_port=7777, dst_port=80, seq=5, ack=0, flags=FLAG_SYN)
+        receiver.segment_arrives(syn, b"", src=other, dst=LOCAL)
+        a = table.lookup(LOCAL, 80, REMOTE, 5555)
+        b = table.lookup(LOCAL, 80, other, 7777)
+        misses_before = table.cache_misses
+        table.lookup(LOCAL, 80, REMOTE, 5555)
+        table.lookup(LOCAL, 80, other, 7777)
+        assert table.cache_misses == misses_before + 2
+        assert a is not b
+
+    def test_remove_clears_cache(self):
+        table = PcbTable()
+        receiver = TcpReceiver(table)
+        receiver.listen(LOCAL, 80)
+        pcb = handshake(receiver)
+        table.remove(pcb)
+        assert table.lookup(LOCAL, 80, REMOTE, 5555).state is TcpState.LISTEN
+
+    def test_ack_every_validation(self):
+        with pytest.raises(ProtocolError):
+            TcpReceiver(ack_every=0)

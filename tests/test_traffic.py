@@ -1,0 +1,223 @@
+"""Tests for repro.traffic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.traffic import (
+    Arrival,
+    BurstSource,
+    DeterministicSource,
+    OCT89_SIZE_MIX,
+    ParetoOnOffSource,
+    PoissonSource,
+    SizeMix,
+    TraceSource,
+    hurst_estimate,
+    pareto_samples,
+    read_bellcore_trace,
+    synthesize_bellcore_like,
+    write_bellcore_trace,
+)
+
+
+class TestArrival:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Arrival(-1.0, 100)
+        with pytest.raises(ConfigurationError):
+            Arrival(0.0, 0)
+
+
+class TestPoisson:
+    def test_rate_approximately_met(self):
+        source = PoissonSource(5000, rng=0)
+        arrivals = source.arrival_list(2.0)
+        assert 9000 < len(arrivals) < 11000
+
+    def test_sorted_and_bounded(self):
+        arrivals = PoissonSource(1000, rng=1).arrival_list(0.5)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < 0.5 for t in times)
+
+    def test_fixed_size(self):
+        arrivals = PoissonSource(1000, size=552, rng=2).arrival_list(0.1)
+        assert all(a.size == 552 for a in arrivals)
+
+    def test_reproducible(self):
+        a = PoissonSource(1000, rng=3).arrival_list(0.2)
+        b = PoissonSource(1000, rng=3).arrival_list(0.2)
+        assert a == b
+
+    def test_exponential_gaps(self):
+        arrivals = PoissonSource(10000, rng=4).arrival_list(1.0)
+        gaps = np.diff([a.time for a in arrivals])
+        # Exponential: std ~ mean.
+        assert abs(gaps.std() / gaps.mean() - 1.0) < 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            PoissonSource(0)
+        with pytest.raises(ConfigurationError):
+            PoissonSource(100, size=0)
+
+    def test_zero_duration(self):
+        assert PoissonSource(1000, rng=0).arrival_list(0) == []
+
+
+class TestDeterministic:
+    def test_exact_count(self):
+        arrivals = DeterministicSource(100).arrival_list(1.0)
+        assert len(arrivals) == 99  # last lands exactly at the horizon
+        gaps = np.diff([a.time for a in arrivals])
+        assert np.allclose(gaps, 0.01)
+
+
+class TestBurst:
+    def test_burst_structure(self):
+        source = BurstSource(burst_rate=10, burst_size=5)
+        arrivals = source.arrival_list(0.5)
+        assert len(arrivals) == 25
+        assert arrivals[0].time == arrivals[4].time
+
+
+class TestPareto:
+    def test_mean_matches(self):
+        rng = np.random.default_rng(0)
+        samples = pareto_samples(rng, alpha=1.5, mean=2.0, count=200_000)
+        # Heavy-tailed: generous tolerance.
+        assert abs(samples.mean() - 2.0) < 0.25
+
+    def test_alpha_must_exceed_one(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            pareto_samples(rng, alpha=1.0, mean=1.0, count=10)
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(1)
+        samples = pareto_samples(rng, alpha=1.2, mean=1.0, count=100_000)
+        # Pareto with alpha 1.2 has samples far beyond 20x the mean.
+        assert samples.max() > 20
+
+
+class TestOnOff:
+    def test_mean_rate_property(self):
+        source = ParetoOnOffSource(
+            num_sources=10, packet_rate_on=1000, mean_on=0.02, mean_off=0.08,
+            rng=0,
+        )
+        assert source.mean_rate == pytest.approx(2000.0)
+
+    def test_generated_rate_in_ballpark(self):
+        source = ParetoOnOffSource(
+            num_sources=20, packet_rate_on=500, mean_on=0.02, mean_off=0.08,
+            rng=1,
+        )
+        arrivals = source.arrival_list(5.0)
+        rate = len(arrivals) / 5.0
+        assert 0.4 * source.mean_rate < rate < 2.0 * source.mean_rate
+
+    def test_sorted_times(self):
+        source = ParetoOnOffSource(num_sources=5, rng=2)
+        times = [a.time for a in source.arrival_list(1.0)]
+        assert times == sorted(times)
+
+    def test_self_similar_burstier_than_poisson(self):
+        """The Hurst estimate of the ON/OFF aggregate exceeds Poisson's."""
+        duration, bins = 30.0, 4096
+        onoff = ParetoOnOffSource(
+            num_sources=24, packet_rate_on=800, mean_on=0.05, mean_off=0.15,
+            alpha=1.3, rng=3,
+        )
+        target_rate = onoff.mean_rate
+        poisson = PoissonSource(target_rate, rng=3)
+
+        def counts(arrivals):
+            edges = np.linspace(0, duration, bins + 1)
+            return np.histogram([a.time for a in arrivals], bins=edges)[0]
+
+        h_onoff = hurst_estimate(counts(onoff.arrival_list(duration)))
+        h_poisson = hurst_estimate(counts(poisson.arrival_list(duration)))
+        assert h_poisson < 0.65
+        assert h_onoff > h_poisson + 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ParetoOnOffSource(num_sources=0)
+        with pytest.raises(ConfigurationError):
+            ParetoOnOffSource(mean_on=0)
+
+    def test_hurst_needs_samples(self):
+        with pytest.raises(ConfigurationError):
+            hurst_estimate(np.ones(10))
+
+
+class TestSizeMix:
+    def test_sampling_respects_support(self):
+        rng = np.random.default_rng(0)
+        sizes = OCT89_SIZE_MIX.sample(rng, 1000)
+        assert set(sizes) <= set(OCT89_SIZE_MIX.sizes)
+
+    def test_mean(self):
+        mix = SizeMix(sizes=(100, 300), weights=(0.5, 0.5))
+        assert mix.mean == pytest.approx(200.0)
+
+    def test_callable(self):
+        rng = np.random.default_rng(0)
+        assert OCT89_SIZE_MIX(rng) in OCT89_SIZE_MIX.sizes
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SizeMix(sizes=(), weights=())
+        with pytest.raises(ConfigurationError):
+            SizeMix(sizes=(1,), weights=(-1.0,))
+
+
+class TestBellcore:
+    def test_file_roundtrip(self, tmp_path):
+        arrivals = [Arrival(0.001, 64), Arrival(0.005, 1518)]
+        path = tmp_path / "trace.txt"
+        write_bellcore_trace(arrivals, path)
+        assert read_bellcore_trace(path) == arrivals
+
+    def test_limit_truncates(self, tmp_path):
+        # The paper uses "the first 1000 seconds" of the trace.
+        arrivals = [Arrival(float(t), 64) for t in range(10)]
+        path = tmp_path / "trace.txt"
+        write_bellcore_trace(arrivals, path)
+        assert len(read_bellcore_trace(path, limit=5.0)) == 5
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0.1 64 extra\n")
+        with pytest.raises(TraceError):
+            read_bellcore_trace(path)
+        path.write_text("abc 64\n")
+        with pytest.raises(TraceError):
+            read_bellcore_trace(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n0.5 64\n")
+        assert len(read_bellcore_trace(path)) == 1
+
+    def test_synthesize(self):
+        arrivals = synthesize_bellcore_like(2.0, mean_rate=500, rng=0)
+        assert arrivals
+        rate = len(arrivals) / 2.0
+        assert 100 < rate < 2000
+        assert all(a.size in OCT89_SIZE_MIX.sizes for a in arrivals)
+
+    def test_synthesize_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_bellcore_like(0.0)
+        with pytest.raises(ConfigurationError):
+            synthesize_bellcore_like(1.0, mean_rate=0)
+
+    def test_trace_source_replay(self):
+        arrivals = [Arrival(0.2, 64), Arrival(0.1, 64), Arrival(0.9, 64)]
+        source = TraceSource(arrivals)
+        replayed = source.arrival_list(0.5)
+        assert [a.time for a in replayed] == [0.1, 0.2]
+        assert len(source) == 3

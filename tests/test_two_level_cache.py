@@ -1,0 +1,131 @@
+"""Tests for the optional second-level cache (Section 1.2 / 4 remarks)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheGeometry, MachineSpec, SplitCacheHierarchy
+from repro.errors import ConfigurationError
+from repro.machine import CPU
+from repro.sim import SimulationConfig, run_simulation
+from repro.traffic import PoissonSource
+from repro.units import kb
+
+L2_SPEC = MachineSpec(
+    l2=CacheGeometry(size=kb(512)),
+    miss_penalty=20,
+    memory_penalty=100,
+)
+
+
+class TestSpecValidation:
+    def test_l2_must_match_line_size(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(l2=CacheGeometry(size=kb(512), line_size=64))
+
+    def test_l2_must_be_larger(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(l2=CacheGeometry(size=kb(4)))
+
+    def test_memory_penalty_floor(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(miss_penalty=50, memory_penalty=20)
+
+    def test_with_clock_preserves_l2(self):
+        scaled = L2_SPEC.with_clock(50e6)
+        assert scaled.l2 == L2_SPEC.l2
+        assert scaled.memory_penalty == 100
+
+
+class TestHierarchy:
+    def test_flat_model_unchanged(self):
+        """Without an L2, every primary miss costs miss_penalty."""
+        hierarchy = SplitCacheHierarchy(MachineSpec())
+        assert hierarchy.fetch_code(0, 6144) == 192 * 20
+        assert hierarchy.fetch_code(0, 6144) == 0
+
+    def test_cold_miss_costs_memory_penalty(self):
+        hierarchy = SplitCacheHierarchy(L2_SPEC)
+        # First touch misses both levels.
+        assert hierarchy.fetch_code(0, 32) == 100
+
+    def test_l2_hit_costs_miss_penalty(self):
+        hierarchy = SplitCacheHierarchy(L2_SPEC)
+        hierarchy.fetch_code(0, 32)
+        hierarchy.icache.flush()  # evict from L1 only
+        assert hierarchy.fetch_code(0, 32) == 20
+
+    def test_l1_hit_costs_nothing(self):
+        hierarchy = SplitCacheHierarchy(L2_SPEC)
+        hierarchy.fetch_code(0, 32)
+        assert hierarchy.fetch_code(0, 32) == 0
+
+    def test_l2_shared_between_i_and_d(self):
+        """The L2 is unified: data fetches warm it for code too."""
+        hierarchy = SplitCacheHierarchy(L2_SPEC)
+        hierarchy.read_data(0, 32)
+        assert hierarchy.fetch_code(0, 32) == 20  # L2 hit
+
+    def test_writes_allocate_in_l2(self):
+        hierarchy = SplitCacheHierarchy(L2_SPEC)
+        assert hierarchy.write_data(0, 32) == 0
+        hierarchy.dcache.flush()
+        assert hierarchy.read_data(0, 32) == 20  # L2 hit after write
+
+    def test_flush_clears_l2(self):
+        hierarchy = SplitCacheHierarchy(L2_SPEC)
+        hierarchy.fetch_code(0, 32)
+        hierarchy.flush()
+        assert hierarchy.fetch_code(0, 32) == 100
+
+
+class TestCpuWithL2:
+    def test_line_array_path(self):
+        cpu = CPU(L2_SPEC)
+        lines = np.arange(0, 192, dtype=np.int64)
+        cpu.fetch_code_lines(lines)
+        assert cpu.stall_cycles == 192 * 100
+        cpu.hierarchy.icache.flush()
+        before = cpu.stall_cycles
+        cpu.fetch_code_lines(lines)
+        assert cpu.stall_cycles - before == 192 * 20
+
+    def test_span_path(self):
+        cpu = CPU(L2_SPEC)
+        cpu.read_data_span(0, 552)
+        assert cpu.stall_cycles == 18 * 100
+
+
+class TestEndToEnd:
+    def test_l2_narrows_but_preserves_ldlp_win(self):
+        """With a big L2 the penalty gap shrinks but the working set
+        still exceeds L1, so LDLP still wins at high load."""
+        source = PoissonSource(8000, rng=0)
+        arrivals = source.arrival_list(0.1)
+        results = {}
+        for name in ("conventional", "ldlp"):
+            config = SimulationConfig(
+                scheduler=name, duration=0.1, spec=L2_SPEC
+            )
+            results[name] = run_simulation(source, config, seed=0,
+                                           arrivals=arrivals)
+        assert (
+            results["ldlp"].cycles_per_message
+            < results["conventional"].cycles_per_message
+        )
+
+    def test_l2_reduces_conventional_cost_vs_memory(self):
+        """An L2 should be strictly cheaper than paying memory penalty
+        on every primary miss."""
+        source = PoissonSource(4000, rng=1)
+        arrivals = source.arrival_list(0.1)
+        flat_expensive = MachineSpec(miss_penalty=100, memory_penalty=100)
+        with_l2 = L2_SPEC
+        costs = {}
+        for label, spec in (("flat100", flat_expensive), ("l2", with_l2)):
+            config = SimulationConfig(
+                scheduler="conventional", duration=0.1, spec=spec
+            )
+            costs[label] = run_simulation(
+                source, config, seed=1, arrivals=arrivals
+            ).cycles_per_message
+        assert costs["l2"] < costs["flat100"]

@@ -1,0 +1,122 @@
+"""Tests for repro.protocols.udp and repro.protocols.socketlayer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import MbufChain
+from repro.errors import ChecksumError, ProtocolError
+from repro.protocols.ip import IPv4Address
+from repro.protocols.socketlayer import Socket, SocketBuffer
+from repro.protocols.udp import UdpHeader, build_datagram
+
+SRC = IPv4Address.parse("10.0.0.2")
+DST = IPv4Address.parse("10.0.0.1")
+
+
+class TestUdp:
+    def test_roundtrip_plain(self):
+        wire = build_datagram(1234, 53, b"query")
+        header, payload = UdpHeader.parse(wire)
+        assert header.src_port == 1234
+        assert header.dst_port == 53
+        assert payload == b"query"
+
+    def test_roundtrip_checksummed(self):
+        wire = build_datagram(1234, 53, b"query", src=SRC, dst=DST)
+        header, payload = UdpHeader.parse(wire, src=SRC, dst=DST, verify=True)
+        assert payload == b"query"
+
+    def test_corruption_detected(self):
+        wire = bytearray(build_datagram(1234, 53, b"query", src=SRC, dst=DST))
+        wire[-1] ^= 0x40
+        with pytest.raises(ChecksumError):
+            UdpHeader.parse(bytes(wire), src=SRC, dst=DST, verify=True)
+
+    def test_zero_checksum_means_unchecked(self):
+        wire = build_datagram(1234, 53, b"query")  # no checksum
+        UdpHeader.parse(wire, src=SRC, dst=DST, verify=True)  # must not raise
+
+    def test_short_datagram_rejected(self):
+        with pytest.raises(ProtocolError):
+            UdpHeader.parse(b"\x00" * 4)
+
+    def test_bad_length_field_rejected(self):
+        wire = bytearray(build_datagram(1, 2, b"abc"))
+        wire[4:6] = (100).to_bytes(2, "big")  # longer than datagram
+        with pytest.raises(ProtocolError):
+            UdpHeader.parse(bytes(wire))
+
+    def test_trailing_bytes_ignored(self):
+        # Ethernet padding may trail the datagram; length field rules.
+        wire = build_datagram(1, 2, b"abc") + b"\x00" * 10
+        _header, payload = UdpHeader.parse(wire)
+        assert payload == b"abc"
+
+    @given(payload=st.binary(max_size=600))
+    @settings(max_examples=60, deadline=None)
+    def test_checksummed_roundtrip_property(self, payload):
+        wire = build_datagram(7, 9, payload, src=SRC, dst=DST)
+        _header, parsed = UdpHeader.parse(wire, src=SRC, dst=DST, verify=True)
+        assert parsed == payload
+
+
+class TestSocketBuffer:
+    def test_append_and_read(self):
+        sb = SocketBuffer()
+        assert sb.append(b"hello")
+        assert sb.read() == b"hello"
+        assert len(sb) == 0
+
+    def test_append_chain_no_copy(self):
+        sb = SocketBuffer()
+        chain = MbufChain.from_bytes(b"data")
+        sb.append(chain)
+        assert chain.segment_count == 0  # ownership moved
+        assert sb.read() == b"data"
+
+    def test_partial_read(self):
+        sb = SocketBuffer()
+        sb.append(b"0123456789")
+        assert sb.read(4) == b"0123"
+        assert sb.read() == b"456789"
+
+    def test_hiwat_rejects_overflow(self):
+        sb = SocketBuffer(hiwat=10)
+        assert sb.append(b"x" * 10)
+        assert not sb.append(b"y")
+        assert sb.stats.rejected == 1
+
+    def test_space_tracks_contents(self):
+        sb = SocketBuffer(hiwat=100)
+        sb.append(b"x" * 30)
+        assert sb.space == 70
+        sb.read(10)
+        assert sb.space == 80
+
+    def test_wakeup_fires_once(self):
+        sb = SocketBuffer()
+        calls = []
+        sb.set_waiter(lambda: calls.append(1))
+        sb.append(b"a")
+        sb.append(b"b")
+        assert calls == [1]
+        assert sb.stats.wakeups == 1
+
+    def test_invalid_hiwat(self):
+        with pytest.raises(ProtocolError):
+            SocketBuffer(hiwat=0)
+
+    def test_fifo_order_across_appends(self):
+        sb = SocketBuffer()
+        sb.append(b"first")
+        sb.append(b"second")
+        assert sb.read() == b"firstsecond"
+
+
+class TestSocket:
+    def test_readable(self):
+        sock = Socket("10.0.0.1", 80)
+        assert not sock.readable()
+        sock.receive_buffer.append(b"x")
+        assert sock.readable()

@@ -1,0 +1,76 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    KB,
+    Clock,
+    format_bytes,
+    format_duration,
+    kb,
+    mhz,
+)
+
+
+class TestSizes:
+    def test_kb_constant(self):
+        assert KB == 1024
+
+    def test_kb_helper(self):
+        assert kb(8) == 8192
+
+    def test_kb_fractional(self):
+        assert kb(0.5) == 512
+
+    def test_mhz(self):
+        assert mhz(100) == 100e6
+
+
+class TestClock:
+    def test_cycles_to_seconds(self):
+        clock = Clock(100e6)
+        assert clock.cycles_to_seconds(100e6) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles(self):
+        clock = Clock(100e6)
+        assert clock.seconds_to_cycles(0.5) == pytest.approx(50e6)
+
+    def test_cycles_to_us(self):
+        clock = Clock(100e6)
+        assert clock.cycles_to_us(100) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        clock = Clock(133e6)
+        assert clock.seconds_to_cycles(clock.cycles_to_seconds(12345)) == pytest.approx(
+            12345
+        )
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigurationError):
+            Clock(0)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ConfigurationError):
+            Clock(-1)
+
+
+class TestFormatting:
+    def test_format_bytes_exact_kb(self):
+        assert format_bytes(8192) == "8 KB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(552) == "552 B"
+
+    def test_format_duration_us(self):
+        assert format_duration(100e-6) == "100.0 us"
+
+    def test_format_duration_ms(self):
+        assert format_duration(0.01) == "10.0 ms"
+
+    def test_format_duration_seconds(self):
+        assert format_duration(1.5) == "1.500 s"
+
+    def test_format_duration_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            format_duration(-1.0)

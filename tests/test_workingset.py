@@ -1,0 +1,185 @@
+"""Tests for repro.cache.workingset (Table 1 / Table 3 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Category, WorkingSetAnalyzer
+from repro.errors import ConfigurationError
+from repro.trace import LayerClassifier, code_ref, read_ref, write_ref
+
+
+def make_analyzer():
+    classifier = LayerClassifier({"tcp_input": "TCP", "ipintr": "IP"})
+    return WorkingSetAnalyzer(classifier)
+
+
+class TestBasicAccounting:
+    def test_single_code_ref_counts_one_line(self):
+        ws = make_analyzer()
+        ws.consume([code_ref(0, 4, "tcp_input")])
+        report = ws.report(32)
+        assert report.layer("TCP", Category.CODE).lines == 1
+        assert report.layer("TCP", Category.CODE).bytes == 32
+
+    def test_refs_in_same_line_count_once(self):
+        ws = make_analyzer()
+        ws.consume([code_ref(0, 4, "tcp_input"), code_ref(28, 4, "tcp_input")])
+        assert ws.report(32).layer("TCP", Category.CODE).lines == 1
+
+    def test_refs_straddling_lines(self):
+        ws = make_analyzer()
+        ws.consume([code_ref(30, 4, "tcp_input")])
+        assert ws.report(32).layer("TCP", Category.CODE).lines == 2
+
+    def test_read_only_vs_mutable(self):
+        ws = make_analyzer()
+        ws.consume([read_ref(1000, 4, "tcp_input"), write_ref(2000, 4, "tcp_input")])
+        report = ws.report(32)
+        assert report.layer("TCP", Category.READONLY).lines == 1
+        assert report.layer("TCP", Category.MUTABLE).lines == 1
+
+    def test_read_then_write_makes_mutable(self):
+        # "Data is considered read-only if it was not modified during
+        # the trace" — a read followed by a write is mutable.
+        ws = make_analyzer()
+        ws.consume([read_ref(1000, 4, "tcp_input")])
+        ws.consume([write_ref(1000, 4, "ipintr")])
+        report = ws.report(32)
+        assert report.layer("TCP", Category.READONLY).lines == 0
+        assert report.layer("TCP", Category.MUTABLE).lines == 1
+
+    def test_first_touch_data_attribution(self):
+        # Data touched first by TCP then by IP belongs to TCP.
+        ws = make_analyzer()
+        ws.consume([read_ref(512, 4, "tcp_input"), read_ref(516, 4, "ipintr")])
+        report = ws.report(32)
+        assert report.layer("TCP", Category.READONLY).lines == 1
+        assert report.layer("IP", Category.READONLY).lines == 0
+
+    def test_unknown_function_is_unclassified(self):
+        ws = make_analyzer()
+        ws.consume([code_ref(0, 4, "mystery_fn")])
+        assert ws.report(32).layer("unclassified", Category.CODE).lines == 1
+
+    def test_totals_sum_layers(self):
+        ws = make_analyzer()
+        ws.consume(
+            [
+                code_ref(0, 4, "tcp_input"),
+                code_ref(4096, 4, "ipintr"),
+                read_ref(8192, 4, "tcp_input"),
+            ]
+        )
+        report = ws.report(32)
+        assert report.total(Category.CODE).lines == 2
+        assert report.total(Category.READONLY).lines == 1
+        assert report.grand_total_bytes() == 3 * 32
+
+
+class TestGranularity:
+    def test_same_atoms_two_granularities(self):
+        # Two code words 40 bytes apart: distinct 32-byte lines, one
+        # 64-byte... actually 0 and 40 are line 0 and line 1 at 32B, but
+        # both in line 0 at 64B.
+        ws = make_analyzer()
+        ws.consume([code_ref(0, 4, "tcp_input"), code_ref(40, 4, "tcp_input")])
+        assert ws.report(32).total(Category.CODE).lines == 2
+        assert ws.report(64).total(Category.CODE).lines == 1
+        assert ws.report(8).total(Category.CODE).lines == 2
+
+    def test_dense_region_bytes_shrink_with_smaller_lines(self):
+        # A sparse touch pattern: every other 16-byte chunk.
+        ws = make_analyzer()
+        refs = [code_ref(base, 4, "tcp_input") for base in range(0, 256, 32)]
+        ws.consume(refs)
+        bytes_at_32 = ws.totals_at(32)[Category.CODE].bytes
+        bytes_at_16 = ws.totals_at(16)[Category.CODE].bytes
+        bytes_at_8 = ws.totals_at(8)[Category.CODE].bytes
+        assert bytes_at_32 > bytes_at_16 > bytes_at_8
+
+    def test_rejects_line_below_atom(self):
+        ws = make_analyzer()
+        with pytest.raises(ConfigurationError):
+            ws.report(2)
+
+    def test_rejects_non_power_of_two_line(self):
+        ws = make_analyzer()
+        with pytest.raises(ConfigurationError):
+            ws.report(48)
+
+
+class TestLineSizeTable:
+    def test_baseline_row_is_zero(self):
+        ws = make_analyzer()
+        ws.consume([code_ref(i, 4, "tcp_input") for i in range(0, 1000, 8)])
+        table = ws.line_size_table()
+        row = table.row(32)
+        delta = row.deltas[Category.CODE]
+        assert delta.bytes_pct == 0.0
+        assert delta.lines_pct == 0.0
+
+    def test_data_below_8_is_na(self):
+        ws = make_analyzer()
+        ws.consume([read_ref(0, 4, "tcp_input")])
+        table = ws.line_size_table()
+        row = table.row(4)
+        assert row.deltas[Category.READONLY] is None
+        assert row.deltas[Category.MUTABLE] is None
+        assert row.deltas[Category.CODE] is not None
+
+    def test_dense_code_line_deltas(self):
+        # Fully dense code: doubling the line size halves lines exactly
+        # and leaves bytes unchanged.
+        ws = make_analyzer()
+        ws.consume([code_ref(i, 4, "tcp_input") for i in range(0, 1024, 4)])
+        table = ws.line_size_table()
+        row = table.row(64)
+        delta = row.deltas[Category.CODE]
+        assert delta.bytes_pct == pytest.approx(0.0)
+        assert delta.lines_pct == pytest.approx(-50.0)
+
+    def test_missing_row_raises(self):
+        ws = make_analyzer()
+        ws.consume([code_ref(0, 4, "tcp_input")])
+        with pytest.raises(ConfigurationError):
+            ws.line_size_table().row(128)
+
+
+class TestProperties:
+    @given(
+        addrs=st.lists(st.integers(0, 4096), min_size=1, max_size=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lines_monotone_in_granularity(self, addrs):
+        """Property: smaller lines never decrease the line count, larger
+        lines never decrease the byte count (coverage monotonicity)."""
+        ws = WorkingSetAnalyzer()
+        ws.consume([code_ref(addr, 4) for addr in addrs])
+        sizes = [4, 8, 16, 32, 64]
+        lines = [ws.totals_at(s)[Category.CODE].lines for s in sizes]
+        byte_counts = [ws.totals_at(s)[Category.CODE].bytes for s in sizes]
+        assert lines == sorted(lines, reverse=True)
+        assert byte_counts == sorted(byte_counts)
+
+    @given(
+        reads=st.lists(st.integers(0, 2048), max_size=50),
+        writes=st.lists(st.integers(0, 2048), max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_categories_partition_data(self, reads, writes):
+        """Property: every touched data line is exactly one of RO/mutable."""
+        ws = WorkingSetAnalyzer()
+        ws.consume([read_ref(addr, 4) for addr in reads])
+        ws.consume([write_ref(addr, 4) for addr in writes])
+        totals = ws.totals_at(32)
+        touched_lines = {addr // 32 for addr in reads} | {
+            (addr + 3) // 32 for addr in reads
+        }
+        touched_lines |= {addr // 32 for addr in writes} | {
+            (addr + 3) // 32 for addr in writes
+        }
+        assert (
+            totals[Category.READONLY].lines + totals[Category.MUTABLE].lines
+            == len(touched_lines)
+        )
