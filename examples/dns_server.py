@@ -23,7 +23,7 @@ from repro.core import (
 )
 from repro.core.batching import BatchPolicy
 from repro.protocols import DnsMessage, DnsZone, udp_frame
-from repro.protocols.stack import StackStats, build_udp_receive_stack
+from repro.protocols.stack import build_udp_receive_stack
 from repro.sim import drive
 from repro.units import format_duration
 

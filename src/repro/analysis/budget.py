@@ -1,0 +1,172 @@
+"""Working-set budget checks (Table 1 arithmetic as a lint).
+
+LDLP's benefit evaporates when the thing being batched no longer fits
+the cache it is being batched *for*: a layer group whose combined code
+exceeds the instruction cache refetches itself on every message of the
+batch (Table 1's per-layer budgets are exactly what must fit), and a
+batch whose messages outgrow the data cache evicts its own messages
+between layers (Section 3.2's "as many messages as will fit" rule).
+These checks catch both statically, from footprints alone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..cache.hierarchy import MachineSpec
+from .findings import Finding
+
+if TYPE_CHECKING:
+    from ..core.scheduler import Scheduler
+
+#: The paper's small-message size ("between 512 and 584 bytes depending
+#: on the layer", Section 2.4); used when no message size is given.
+DEFAULT_MESSAGE_BYTES = 552
+
+#: Data-cache bytes reserved for per-layer private data (Section 3.2's
+#: batching arithmetic reserves one layer's data working set).
+DEFAULT_LAYER_DATA_RESERVE = 256
+
+
+def check_group_budgets(
+    code_sizes: Sequence[int],
+    groups: Sequence[Sequence[int]],
+    icache_bytes: int,
+    layer_names: Sequence[str] | None = None,
+    target: str = "scheduler",
+) -> list[Finding]:
+    """Flag groups whose combined code footprint exceeds the I-cache.
+
+    ``code_sizes[i]`` is layer ``i``'s code working set in bytes;
+    ``groups`` is the scheduler's grouping (indices into the stack).
+    """
+    names = (
+        list(layer_names)
+        if layer_names is not None
+        else [f"layer[{index}]" for index in range(len(code_sizes))]
+    )
+    findings: list[Finding] = []
+    for position, group in enumerate(groups):
+        members = [index for index in group if 0 <= index < len(code_sizes)]
+        total = sum(code_sizes[index] for index in members)
+        if total > icache_bytes:
+            member_names = [names[index] for index in members]
+            findings.append(
+                Finding(
+                    "LDLP003",
+                    f"group {position} ({', '.join(member_names)}) needs "
+                    f"{total} B of code against the {icache_bytes} B "
+                    f"instruction cache; the group refetches its own code "
+                    f"every message and the LDLP batching gain is lost",
+                    target,
+                    details={
+                        "group": position,
+                        "members": member_names,
+                        "code_bytes": total,
+                        "icache_bytes": icache_bytes,
+                        "overflow_bytes": total - icache_bytes,
+                    },
+                )
+            )
+    return findings
+
+
+def check_batch_budget(
+    max_batch: int,
+    dcache_bytes: int,
+    message_bytes: int = DEFAULT_MESSAGE_BYTES,
+    layer_data_reserve: int = DEFAULT_LAYER_DATA_RESERVE,
+    target: str = "scheduler",
+) -> list[Finding]:
+    """Flag an LDLP batch cap whose data footprint overruns the D-cache."""
+    footprint = max_batch * message_bytes + layer_data_reserve
+    if footprint <= dcache_bytes:
+        return []
+    fitting = max(1, (dcache_bytes - layer_data_reserve) // message_bytes)
+    return [
+        Finding(
+            "LDLP004",
+            f"batch cap {max_batch} x {message_bytes} B messages "
+            f"(+{layer_data_reserve} B layer data) needs {footprint} B "
+            f"against the {dcache_bytes} B data cache; messages evict "
+            f"each other between layers — cap batches at {fitting}",
+            target,
+            details={
+                "max_batch": max_batch,
+                "message_bytes": message_bytes,
+                "layer_data_reserve": layer_data_reserve,
+                "footprint_bytes": footprint,
+                "dcache_bytes": dcache_bytes,
+                "recommended_batch": fitting,
+            },
+        )
+    ]
+
+
+def check_scheduler_budgets(
+    scheduler: "Scheduler",
+    spec: MachineSpec | None = None,
+    message_bytes: int = DEFAULT_MESSAGE_BYTES,
+    target: str | None = None,
+) -> list[Finding]:
+    """Budget-check a live scheduler instance without running it.
+
+    Uses the scheduler's own :meth:`describe_config` hook: per-layer
+    footprints, the batch cap, and (for the grouped scheduler) the
+    grouping.  The machine comes from the scheduler's binding when
+    bound, else ``spec``, else the paper's default machine.
+    """
+    if spec is None:
+        binding = getattr(scheduler, "binding", None)
+        spec = binding.spec if binding is not None else MachineSpec()
+    config = scheduler.describe_config()
+    label = target or f"scheduler:{config['scheduler']}"
+    code_sizes = [int(layer["code_bytes"]) for layer in config["layers"]]
+    layer_names = [str(layer["name"]) for layer in config["layers"]]
+    # Ungrouped schedulers: every layer is its own group (a single
+    # oversized layer is still a budget violation).
+    groups = config.get("groups") or [[index] for index in range(len(code_sizes))]
+    findings = check_group_budgets(
+        code_sizes, groups, spec.icache.size, layer_names, label
+    )
+    if "batch_limit" in config:
+        # Reserve room for the largest layer's private data working set.
+        reserve = max(
+            [int(layer["data_bytes"]) for layer in config["layers"]]
+            + [DEFAULT_LAYER_DATA_RESERVE]
+        )
+        findings.extend(
+            check_batch_budget(
+                int(config["batch_limit"]),
+                spec.dcache.size,
+                message_bytes,
+                reserve,
+                label,
+            )
+        )
+    return findings
+
+
+def check_netbsd_group_budgets(
+    layer_groups: Sequence[Sequence[str]],
+    icache_bytes: int,
+    target: str = "stack:netbsd",
+) -> list[Finding]:
+    """Budget-check a grouping of the NetBSD Table-1 layers.
+
+    ``layer_groups`` holds Table-1 layer names (e.g. ``[["Ethernet",
+    "IP"], ["TCP"]]``); each group's summed catalog code bytes must fit
+    the instruction cache for grouped LDLP to pay off.
+    """
+    from ..netbsd.functions import layer_code_sizes
+
+    sizes = layer_code_sizes()
+    names = list(sizes)
+    indices = {name: position for position, name in enumerate(names)}
+    index_groups = [
+        [indices[name] for name in group if name in indices]
+        for group in layer_groups
+    ]
+    return check_group_budgets(
+        [sizes[name] for name in names], index_groups, icache_bytes, names, target
+    )

@@ -1,0 +1,190 @@
+"""Static cache conflict-map analysis (Section 4's layout lottery as a lint).
+
+The paper averages over "100 runs, each with a different random
+placement in memory" precisely because, with a direct-mapped cache,
+*where the linker put the code* decides the conflict-miss count.  This
+module predicts that statically: given placed :class:`Region` objects
+and a cache geometry, it computes per-set occupancy, reports which hot
+regions alias, and flags layouts whose hot working set self-conflicts —
+without running the simulator.
+
+Two outcomes matter:
+
+* the hot working set *fits* the cache but two hot regions still map to
+  the same index — a layout bug a different placement would fix
+  (``LDLP001``);
+* the hot working set *exceeds* the cache — conflicts are structural,
+  no placement can help (``LDLP002``, the paper's Table 1 situation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..cache.hierarchy import CacheGeometry
+from ..errors import LayoutError
+from ..machine.program import Region
+from .findings import Finding
+
+
+@dataclass(frozen=True)
+class SetConflict:
+    """One cache set claimed by several hot regions."""
+
+    set_index: int
+    regions: tuple[str, ...]
+
+
+@dataclass
+class ConflictMap:
+    """Per-cache-index occupancy of a set of placed regions."""
+
+    geometry: CacheGeometry
+    #: Region name -> distinct set indices it occupies.
+    region_sets: dict[str, np.ndarray]
+    #: occupancy[s] = number of analyzed regions touching set ``s``.
+    occupancy: np.ndarray
+
+    @property
+    def num_sets(self) -> int:
+        return self.geometry.num_sets
+
+    @property
+    def total_lines(self) -> int:
+        """Cache lines the analyzed regions need simultaneously."""
+        return int(sum(indices.size for indices in self.region_sets.values()))
+
+    @property
+    def max_occupancy(self) -> int:
+        return int(self.occupancy.max()) if self.occupancy.size else 0
+
+    @property
+    def conflicting_sets(self) -> int:
+        """Sets where two or more analyzed regions collide."""
+        return int((self.occupancy > 1).sum())
+
+    def utilization(self) -> float:
+        """Fraction of cache sets touched by at least one region."""
+        if not self.num_sets:
+            return 0.0
+        return float((self.occupancy > 0).sum()) / self.num_sets
+
+    def aliases(self) -> list[SetConflict]:
+        """Every multiply-occupied set with the regions that share it."""
+        conflicts: list[SetConflict] = []
+        contested = np.nonzero(self.occupancy > 1)[0]
+        if not contested.size:
+            return conflicts
+        contested_set = set(int(index) for index in contested)
+        owners: dict[int, list[str]] = {index: [] for index in contested_set}
+        for name, indices in self.region_sets.items():
+            for index in indices:
+                index = int(index)
+                if index in contested_set:
+                    owners[index].append(name)
+        for index in sorted(owners):
+            conflicts.append(SetConflict(index, tuple(sorted(owners[index]))))
+        return conflicts
+
+    def aliased_pairs(self) -> dict[tuple[str, str], int]:
+        """(region, region) -> number of cache sets they contest."""
+        pairs: Counter[tuple[str, str]] = Counter()
+        for conflict in self.aliases():
+            names = conflict.regions
+            for i, first in enumerate(names):
+                for second in names[i + 1 :]:
+                    pairs[(first, second)] += 1
+        return dict(pairs)
+
+
+def build_conflict_map(
+    regions: Iterable[Region], geometry: CacheGeometry
+) -> ConflictMap:
+    """Map every placed region onto the cache's set index space."""
+    region_sets: dict[str, np.ndarray] = {}
+    occupancy = np.zeros(geometry.num_sets, dtype=np.int64)
+    for region in regions:
+        if not region.placed:
+            raise LayoutError(
+                f"region {region.name!r} must be placed before conflict "
+                f"analysis (call a MemoryLayout placement first)"
+            )
+        indices = region.cache_set_indices(geometry.line_size, geometry.num_sets)
+        region_sets[region.name] = indices
+        occupancy[indices] += 1
+    return ConflictMap(geometry, region_sets, occupancy)
+
+
+def analyze_conflicts(
+    regions: Sequence[Region],
+    geometry: CacheGeometry,
+    hot: Iterable[str] | None = None,
+    target: str = "layout",
+) -> tuple[ConflictMap, list[Finding]]:
+    """Lint a placed layout against one direct-mapped cache.
+
+    Parameters
+    ----------
+    regions:
+        Placed regions (typically a :class:`Program`'s code regions).
+    geometry:
+        The cache they compete for.
+    hot:
+        Names of the regions that must be co-resident (the hot loop's
+        working set).  Defaults to all given regions.
+    target:
+        Label used in findings (e.g. ``"stack:netbsd"``).
+    """
+    hot_names = set(hot) if hot is not None else {region.name for region in regions}
+    known = {region.name for region in regions}
+    unknown = hot_names - known
+    if unknown:
+        raise LayoutError(f"hot set names unknown regions: {sorted(unknown)}")
+    hot_regions = [region for region in regions if region.name in hot_names]
+    conflict_map = build_conflict_map(hot_regions, geometry)
+    findings: list[Finding] = []
+
+    if conflict_map.total_lines > geometry.num_sets:
+        hot_bytes = sum(region.size for region in hot_regions)
+        findings.append(
+            Finding(
+                "LDLP002",
+                f"hot working set ({hot_bytes} B over "
+                f"{conflict_map.total_lines} lines) exceeds the "
+                f"{geometry.size} B cache ({geometry.num_sets} lines); "
+                f"conflict misses are unavoidable at any placement "
+                f"({hot_bytes / geometry.size:.1f}x the cache)",
+                target,
+                details={
+                    "hot_bytes": hot_bytes,
+                    "hot_lines": conflict_map.total_lines,
+                    "cache_bytes": geometry.size,
+                    "cache_lines": geometry.num_sets,
+                    "regions": sorted(hot_names),
+                },
+            )
+        )
+        return conflict_map, findings
+
+    # The hot set fits; any aliasing is a placement bug worth an error.
+    for (first, second), sets in sorted(conflict_map.aliased_pairs().items()):
+        findings.append(
+            Finding(
+                "LDLP001",
+                f"hot regions {first!r} and {second!r} alias in {sets} "
+                f"cache set(s) although the hot working set fits the "
+                f"{geometry.size} B cache; each pass through both costs "
+                f"~{2 * sets} avoidable conflict misses",
+                target,
+                details={
+                    "regions": [first, second],
+                    "conflicting_sets": sets,
+                    "cache_bytes": geometry.size,
+                },
+            )
+        )
+    return conflict_map, findings

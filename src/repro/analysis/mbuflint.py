@@ -1,0 +1,366 @@
+"""AST-based mbuf lifecycle linter (the MBUF* rules).
+
+LDLP "requires a buffer management scheme where lower layers hand off
+their buffers to the higher layers, and don't destroy them after
+calling the upper layers" (Section 3.2) — which makes mbuf ownership
+easy to get wrong: free a chain a higher layer still holds and you get
+a use-after-free; free it on two paths and you corrupt the free list;
+forget it and the pool drains.  This linter walks Python source
+statically and flags ``MbufPool.alloc`` / ``free`` / ``free_chain``
+misuse per function scope:
+
+* ``MBUF001`` double-free — the same variable freed twice;
+* ``MBUF002`` use-after-free — any use of a variable after its free;
+* ``MBUF003`` mbuf-leak — an allocation that is neither freed nor
+  handed off (returned, stored, passed on) before the scope ends.
+
+The analysis is intentionally lint-grade: statements are visited in
+source order (branches are not path-sensitive), and any hand-off of a
+buffer to other code counts as an ownership transfer, so real stacks —
+which pass mbufs up the stack constantly — stay quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import TraceError
+from .findings import Finding
+
+#: Method names that return an mbuf to a pool.
+FREE_METHODS = ("free", "free_chain")
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    return None
+
+
+@dataclass
+class _VarState:
+    """Lifecycle of one mbuf-holding variable within a scope."""
+
+    alloc_line: int | None  # None when first seen at a free (parameter)
+    freed_line: int | None = None
+    escaped: bool = False
+
+    @property
+    def live(self) -> bool:
+        return self.freed_line is None
+
+
+class _ScopeLinter:
+    """Lints one scope (module body or function body) linearly."""
+
+    def __init__(self, filename: str, scope_name: str) -> None:
+        self.filename = filename
+        self.scope_name = scope_name
+        self.pools: set[str] = set()
+        self.vars: dict[str, _VarState] = {}
+        self.findings: list[Finding] = []
+
+    # -- pool / call classification ------------------------------------
+
+    def _is_pool(self, receiver: str | None) -> bool:
+        if receiver is None:
+            return False
+        if receiver in self.pools:
+            return True
+        return "pool" in receiver.rsplit(".", 1)[-1].lower()
+
+    def _classify_call(self, call: ast.Call) -> tuple[str, str] | None:
+        """("alloc"|"free"|"free_chain"|"ctor", receiver) or None."""
+        func = call.func
+        name = _dotted_name(func)
+        if name is not None and name.rsplit(".", 1)[-1] == "MbufPool":
+            return ("ctor", name)
+        if isinstance(func, ast.Attribute):
+            receiver = _dotted_name(func.value)
+            if func.attr == "alloc" and self._is_pool(receiver):
+                return ("alloc", receiver or "")
+            if func.attr in FREE_METHODS and self._is_pool(receiver):
+                return (func.attr, receiver or "")
+        return None
+
+    # -- events ---------------------------------------------------------
+
+    def _report(self, rule_id: str, message: str, line: int, **details: object) -> None:
+        details.setdefault("scope", self.scope_name)
+        self.findings.append(
+            Finding(rule_id, message, self.filename, line=line, details=details)
+        )
+
+    def _free_var(self, name: str, method: str, line: int) -> None:
+        state = self.vars.get(name)
+        if state is None:
+            # First sighting (e.g. a parameter): track so a second free
+            # in this scope is still caught.
+            self.vars[name] = _VarState(alloc_line=None, freed_line=line)
+            return
+        if state.freed_line is not None:
+            self._report(
+                "MBUF001",
+                f"{name!r} freed again with {method}() — already freed at "
+                f"line {state.freed_line}",
+                line,
+                variable=name,
+                first_free_line=state.freed_line,
+            )
+            return
+        state.freed_line = line
+
+    def _use_var(self, name: str, line: int, escaping: bool) -> None:
+        state = self.vars.get(name)
+        if state is None:
+            return
+        if state.freed_line is not None:
+            self._report(
+                "MBUF002",
+                f"{name!r} used after being freed at line {state.freed_line}",
+                line,
+                variable=name,
+                freed_line=state.freed_line,
+            )
+            return
+        if escaping:
+            state.escaped = True
+
+    # -- expression scan ------------------------------------------------
+
+    def _scan(self, node: ast.expr | None, escaping: bool) -> None:
+        """Scan an expression; ``escaping`` marks ownership-transfer spots."""
+        if node is None:
+            return
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                self._use_var(node.id, node.lineno, escaping)
+            return
+        if isinstance(node, ast.Call):
+            kind = self._classify_call(node)
+            if kind is not None and kind[0] in FREE_METHODS:
+                method = kind[0]
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        self._free_var(arg.id, method, arg.lineno)
+                    else:
+                        self._scan(arg, escaping=False)
+                for keyword in node.keywords:
+                    self._scan(keyword.value, escaping=False)
+                return
+            if isinstance(node.func, ast.Attribute):
+                # Method call: the receiver is a plain use, not a hand-off.
+                self._scan(node.func.value, escaping=False)
+            else:
+                self._scan(node.func, escaping=False)
+            # Passing an mbuf to any other callable transfers ownership.
+            for arg in node.args:
+                self._scan(arg, escaping=True)
+            for keyword in node.keywords:
+                self._scan(keyword.value, escaping=True)
+            return
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self._scan(element, escaping=True)
+            return
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                self._scan(key, escaping=True)
+            for value in node.values:
+                self._scan(value, escaping=True)
+            return
+        if isinstance(node, (ast.Lambda, ast.ListComp, ast.SetComp,
+                             ast.DictComp, ast.GeneratorExp)):
+            return  # separate (unlinted) scope; stay conservative
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan(child, escaping=False)
+
+    # -- statement walk --------------------------------------------------
+
+    def run(self, body: list[ast.stmt]) -> list[Finding]:
+        self._visit_block(body)
+        for name, state in self.vars.items():
+            if state.alloc_line is not None and state.live and not state.escaped:
+                self._report(
+                    "MBUF003",
+                    f"{name!r} allocated here is never freed or handed off "
+                    f"before the end of {self.scope_name}",
+                    state.alloc_line,
+                    variable=name,
+                )
+        return self.findings
+
+    def _visit_block(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are linted separately
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            self._visit_assign(stmt)
+            return
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Call):
+                kind = self._classify_call(stmt.value)
+                if kind is not None and kind[0] == "alloc":
+                    self._report(
+                        "MBUF003",
+                        "alloc() result discarded — the mbuf can never be "
+                        "freed",
+                        stmt.lineno,
+                    )
+                    for arg in stmt.value.args:
+                        self._scan(arg, escaping=False)
+                    return
+            self._scan(stmt.value, escaping=False)
+            return
+        if isinstance(stmt, ast.Return):
+            self._scan(stmt.value, escaping=True)
+            return
+        if isinstance(stmt, ast.Raise):
+            self._scan(stmt.exc, escaping=True)
+            self._scan(stmt.cause, escaping=True)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan(stmt.test, escaping=False)
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan(stmt.iter, escaping=False)
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan(stmt.test, escaping=False)
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan(item.context_expr, escaping=False)
+            self._visit_block(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._visit_block(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body)
+            self._visit_block(stmt.orelse)
+            self._visit_block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._scan(stmt.value, escaping=False)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan(child, escaping=False)
+
+    def _visit_assign(self, stmt: ast.Assign | ast.AnnAssign) -> None:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        value = stmt.value
+        single_name = (
+            targets[0].id
+            if len(targets) == 1 and isinstance(targets[0], ast.Name)
+            else None
+        )
+        if isinstance(value, ast.Call):
+            kind = self._classify_call(value)
+            if kind is not None:
+                for arg in value.args:
+                    self._scan(arg, escaping=False)
+                for keyword in value.keywords:
+                    self._scan(keyword.value, escaping=False)
+                if kind[0] == "ctor" and single_name is not None:
+                    self.pools.add(single_name)
+                    return
+                if kind[0] == "alloc":
+                    if single_name is None:
+                        return  # stored straight into a structure: handed off
+                    previous = self.vars.get(single_name)
+                    if previous is not None and previous.live \
+                            and previous.alloc_line is not None \
+                            and not previous.escaped:
+                        self._report(
+                            "MBUF003",
+                            f"{single_name!r} reassigned while still holding "
+                            f"the mbuf allocated at line {previous.alloc_line}"
+                            f" — the old mbuf leaks",
+                            stmt.lineno,
+                            variable=single_name,
+                            previous_alloc_line=previous.alloc_line,
+                        )
+                    self.vars[single_name] = _VarState(alloc_line=stmt.lineno)
+                    return
+                # free/free_chain used as an assignment RHS (rare): the
+                # argument handling above in _scan covers Expr form; do
+                # it here too.
+                return
+        # Generic assignment: scan the value.  Assigning a tracked mbuf
+        # to *anything* (alias, attribute, container slot) hands it off.
+        self._scan(value, escaping=True)
+        # Rebinding a tracked name to something else forgets the old
+        # binding; if it was live and unshared, that is a leak.
+        if single_name is not None and not isinstance(value, ast.Call):
+            previous = self.vars.get(single_name)
+            if previous is not None:
+                if previous.live and previous.alloc_line is not None \
+                        and not previous.escaped:
+                    self._report(
+                        "MBUF003",
+                        f"{single_name!r} reassigned while still holding the "
+                        f"mbuf allocated at line {previous.alloc_line} — the "
+                        f"old mbuf leaks",
+                        stmt.lineno,
+                        variable=single_name,
+                        previous_alloc_line=previous.alloc_line,
+                    )
+                del self.vars[single_name]
+        # Attribute/subscript targets load their base objects.
+        for tgt in targets:
+            if isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                self._scan(tgt.value, escaping=False)
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[Finding]:
+    """Lint Python source text; returns MBUF* findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise TraceError(f"cannot parse {filename}: {exc}") from exc
+    findings: list[Finding] = []
+    findings.extend(_ScopeLinter(filename, "<module>").run(tree.body))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(
+                _ScopeLinter(filename, f"{node.name}()").run(node.body)
+            )
+    findings.sort(key=lambda finding: (finding.line or 0, finding.rule_id))
+    return findings
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one Python file."""
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(paths: list[str | Path]) -> list[Finding]:
+    """Lint files and directories (recursing into ``*.py``)."""
+    findings: list[Finding] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                findings.extend(lint_file(child))
+        else:
+            findings.extend(lint_file(path))
+    return findings

@@ -1,0 +1,82 @@
+"""Text and JSON reporters for analyzer findings.
+
+The text reporter is for humans at a terminal (one line per finding,
+grouped counts at the end); the JSON reporter is for CI and tooling
+(stable schema, rule metadata inlined so consumers need no registry).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding, count_by_severity
+
+
+def finding_to_dict(finding: Finding) -> dict[str, object]:
+    """The JSON-schema form of one finding (rule metadata inlined)."""
+    rule = finding.rule
+    return {
+        "rule_id": finding.rule_id,
+        "rule": rule.name,
+        "severity": rule.severity.value,
+        "paper_section": rule.paper_section,
+        "target": finding.target,
+        "line": finding.line,
+        "location": finding.location,
+        "message": finding.message,
+        "details": finding.details,
+    }
+
+
+def _json_default(value: object) -> object:
+    # numpy scalars and other non-JSON leaves occasionally reach
+    # ``details``; coerce to plain Python rather than crash the report.
+    for converter in (int, float, str):
+        try:
+            return converter(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            continue
+    raise TypeError(f"unserializable detail value: {value!r}")
+
+
+def render_json(
+    findings: list[Finding],
+    summaries: dict[str, object] | None = None,
+) -> str:
+    """The machine-readable report (one JSON object)."""
+    payload: dict[str, object] = {
+        "analyzer": "repro.analysis",
+        "counts": count_by_severity(findings),
+        "findings": [finding_to_dict(finding) for finding in findings],
+    }
+    if summaries:
+        payload["stacks"] = summaries
+    return json.dumps(payload, indent=2, default=_json_default)
+
+
+def render_text(
+    findings: list[Finding],
+    summaries: dict[str, object] | None = None,
+) -> str:
+    """The human-readable report."""
+    lines: list[str] = []
+    for finding in findings:
+        rule = finding.rule
+        lines.append(
+            f"{finding.location}: {rule.severity.value} {finding.rule_id} "
+            f"{rule.name}: {finding.message}"
+        )
+    counts = count_by_severity(findings)
+    if findings:
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding(s): {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info"
+        )
+    else:
+        lines.append("no findings")
+    if summaries:
+        lines.append("")
+        for name, summary in summaries.items():
+            lines.append(f"[{name}] {summary}")
+    return "\n".join(lines)

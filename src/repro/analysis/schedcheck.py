@@ -1,0 +1,117 @@
+"""Scheduler-configuration validation (the SCHED* rules).
+
+Grouped LDLP only works when the groups form an ordered partition of
+the stack: overlap means double processing, gaps mean unreachable
+layers, disorder means completions leave the stack out of order.  The
+runtime constructor enforces this with a typed
+:class:`~repro.errors.GroupingError`; this module reports the *same*
+diagnosis (via :func:`repro.core.scheduler.diagnose_groups`) as lint
+findings so a bad config is caught before any simulation is built.
+
+It also flags a subtler hazard: a layer that coalesces messages
+(overrides ``flush``) under a scheduler that never calls ``flush`` —
+the held messages would be stranded forever.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.scheduler import diagnose_groups
+from .findings import Finding
+
+if TYPE_CHECKING:
+    from ..core.scheduler import Scheduler
+
+
+def check_group_partition(
+    num_layers: int,
+    groups: Sequence[Sequence[int]],
+    target: str = "scheduler",
+) -> list[Finding]:
+    """Lint a grouping against the ordered-partition contract."""
+    diagnosis = diagnose_groups(num_layers, [list(group) for group in groups])
+    findings: list[Finding] = []
+    if diagnosis.overlapping:
+        findings.append(
+            Finding(
+                "SCHED001",
+                f"layer indices {list(diagnosis.overlapping)} appear in more "
+                f"than one group; those layers would process some messages "
+                f"twice",
+                target,
+                details={"overlapping": list(diagnosis.overlapping)},
+            )
+        )
+    unreachable = list(diagnosis.missing) + list(diagnosis.out_of_range)
+    if unreachable or diagnosis.empty_groups:
+        parts: list[str] = []
+        if diagnosis.missing:
+            parts.append(
+                f"layer indices {list(diagnosis.missing)} are covered by no "
+                f"group (messages never reach them)"
+            )
+        if diagnosis.out_of_range:
+            parts.append(
+                f"indices {list(diagnosis.out_of_range)} are outside the "
+                f"stack (0..{num_layers - 1})"
+            )
+        if diagnosis.empty_groups:
+            parts.append(
+                f"groups at positions {list(diagnosis.empty_groups)} are empty"
+            )
+        findings.append(
+            Finding(
+                "SCHED002",
+                "; ".join(parts),
+                target,
+                details={
+                    "missing": list(diagnosis.missing),
+                    "out_of_range": list(diagnosis.out_of_range),
+                    "empty_groups": list(diagnosis.empty_groups),
+                },
+            )
+        )
+    if diagnosis.misordered:
+        findings.append(
+            Finding(
+                "SCHED003",
+                f"layer indices {list(diagnosis.misordered)} break ascending "
+                f"stack order in the grouping; messages would complete out "
+                f"of order or be routed backwards",
+                target,
+                details={"misordered": list(diagnosis.misordered)},
+            )
+        )
+    return findings
+
+
+def check_scheduler_config(
+    scheduler: "Scheduler", target: str | None = None
+) -> list[Finding]:
+    """Validate a live scheduler instance's static configuration."""
+    config = scheduler.describe_config()
+    label = target or f"scheduler:{config['scheduler']}"
+    findings: list[Finding] = []
+    if "groups" in config:
+        findings.extend(
+            check_group_partition(len(config["layers"]), config["groups"], label)
+        )
+    if not config["uses_queues"]:
+        holders = [
+            str(layer["name"])
+            for layer in config["layers"]
+            if layer.get("holds_messages")
+        ]
+        if holders:
+            findings.append(
+                Finding(
+                    "SCHED004",
+                    f"layer(s) {', '.join(holders)} coalesce messages "
+                    f"(override flush) but {config['scheduler']} never calls "
+                    f"flush; held messages would be stranded",
+                    label,
+                    details={"layers": holders, "scheduler": config["scheduler"]},
+                )
+            )
+    return findings

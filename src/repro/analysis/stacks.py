@@ -1,0 +1,183 @@
+"""Whole-stack analysis pipelines for the two modelled stacks.
+
+These glue the individual checks together against real configurations:
+
+* the Section-4 **synthetic** five-layer stack, built and placed exactly
+  as the simulator builds it (same schedulers, same
+  :class:`~repro.core.binding.MachineBinding` placement), then linted —
+  group partition, working-set budgets, and per-group conflict maps;
+* the Section-2 **netbsd** receive path: the Figure-1 function catalog
+  placed in memory, with the traced hot set checked against the
+  instruction cache and the Table-1 layers checked against the
+  per-group code budget.
+
+The synthetic stack is expected to lint clean (the paper chose its
+parameters so each layer fits the cache); the NetBSD stack is expected
+to warn (its ~30 KB hot path cannot fit the 8 KB cache — the paper's
+motivating observation), which is why warnings do not fail CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cache.hierarchy import MachineSpec
+from ..core.binding import MachineBinding
+from ..core.scheduler import GroupedLDLPScheduler, Scheduler
+from ..errors import ConfigurationError
+from ..machine.layout import MemoryLayout
+from .budget import check_netbsd_group_budgets, check_scheduler_budgets
+from .conflict import analyze_conflicts
+from .findings import Finding
+from .schedcheck import check_scheduler_config
+
+#: Names accepted by :func:`analyze_stack` (and the CLI's ``--stack``).
+STACK_NAMES = ("synthetic", "netbsd")
+
+
+@dataclass
+class StackAnalysis:
+    """Outcome of one whole-stack analysis run."""
+
+    name: str
+    summary: dict[str, object] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+
+
+def check_scheduler_conflicts(
+    scheduler: Scheduler, target: str = "scheduler"
+) -> list[Finding]:
+    """Conflict-map every group of a machine-bound scheduler.
+
+    LDLP's locality claim is per *group*: while a group's queue drains,
+    only that group's code is hot, so each group's placed code regions
+    are analyzed as an independent hot set against the I-cache.
+    """
+    binding = scheduler.binding
+    if binding is None or not binding.bound:
+        raise ConfigurationError(
+            "conflict analysis needs a machine-bound scheduler (the code "
+            "must be placed somewhere to have cache indices)"
+        )
+    config = scheduler.describe_config()
+    groups = config.get("groups") or [
+        [index] for index in range(len(scheduler.layers))
+    ]
+    findings: list[Finding] = []
+    for position, group in enumerate(groups):
+        regions = [
+            binding.placed_layer(scheduler.layers[index].name).code_region
+            for index in group
+            if 0 <= index < len(scheduler.layers)
+        ]
+        if not regions:
+            continue
+        _, group_findings = analyze_conflicts(
+            regions, binding.spec.icache, target=f"{target}:group{position}"
+        )
+        findings.extend(group_findings)
+    return findings
+
+
+def analyze_synthetic_stack(
+    seed: int = 0, placement: str = "random"
+) -> StackAnalysis:
+    """Lint the Section-4 synthetic benchmark configuration.
+
+    Builds the grouped LDLP scheduler over the paper's five 6 KB layers
+    with the same placement machinery the simulator uses, then runs the
+    scheduler-config, budget, and per-group conflict checks.
+    """
+    from ..sim.runner import build_paper_stack
+
+    target = "stack:synthetic"
+    layers = build_paper_stack()
+    binding = MachineBinding(
+        rng=seed, random_placement=(placement == "random")
+    )
+    scheduler = GroupedLDLPScheduler(layers, binding)
+    findings = check_scheduler_config(scheduler, target=target)
+    findings.extend(check_scheduler_budgets(scheduler, target=target))
+    findings.extend(check_scheduler_conflicts(scheduler, target=target))
+    config = scheduler.describe_config()
+    return StackAnalysis(
+        name="synthetic",
+        summary={
+            "scheduler": config["scheduler"],
+            "layers": len(layers),
+            "groups": config["groups"],
+            "batch_limit": config["batch_limit"],
+            "icache": binding.spec.icache.describe(),
+            "dcache": binding.spec.dcache.describe(),
+            "placement": placement,
+            "seed": seed,
+        },
+        findings=findings,
+    )
+
+
+def analyze_netbsd_stack(
+    seed: int = 0, placement: str = "random"
+) -> StackAnalysis:
+    """Lint the NetBSD receive path's static layout (Sections 2 and 4).
+
+    Places the Figure-1 function catalog, then checks (a) the traced
+    hot working set against the instruction cache — reproducing the
+    paper's "working sets are much larger than the caches" finding as a
+    deterministic ``LDLP002`` — and (b) each Table-1 layer as a
+    candidate LDLP group against the per-group code budget.
+    """
+    from ..netbsd.functions import ALL_LAYERS, catalog_program
+    from ..netbsd.receive_path import hot_function_names
+
+    target = "stack:netbsd"
+    spec = MachineSpec()
+    program = catalog_program()
+    layout = MemoryLayout(
+        line_size=spec.icache.line_size, rng=np.random.default_rng(seed)
+    )
+    regions = program.code_regions()
+    if placement == "random":
+        layout.place_all_random(regions)
+    else:
+        layout.place_all_sequential(regions)
+    hot = [name for name in hot_function_names()]
+    conflict_map, findings = analyze_conflicts(
+        regions, spec.icache, hot=hot, target=target
+    )
+    findings.extend(
+        check_netbsd_group_budgets(
+            [[layer] for layer in ALL_LAYERS], spec.icache.size, target=target
+        )
+    )
+    return StackAnalysis(
+        name="netbsd",
+        summary={
+            "functions": len(regions),
+            "hot_functions": len(hot),
+            "hot_lines": conflict_map.total_lines,
+            "cache_lines": conflict_map.num_sets,
+            "cache_utilization": round(conflict_map.utilization(), 3),
+            "max_set_occupancy": conflict_map.max_occupancy,
+            "conflicting_sets": conflict_map.conflicting_sets,
+            "icache": spec.icache.describe(),
+            "placement": placement,
+            "seed": seed,
+        },
+        findings=findings,
+    )
+
+
+def analyze_stack(
+    name: str, seed: int = 0, placement: str = "random"
+) -> StackAnalysis:
+    """Dispatch to one of the named stack pipelines."""
+    if name == "synthetic":
+        return analyze_synthetic_stack(seed=seed, placement=placement)
+    if name == "netbsd":
+        return analyze_netbsd_stack(seed=seed, placement=placement)
+    raise ConfigurationError(
+        f"unknown stack {name!r}; expected one of {STACK_NAMES}"
+    )

@@ -47,6 +47,24 @@ class MbufPool:
     def in_use(self) -> int:
         return self._in_use
 
+    @property
+    def outstanding(self) -> int:
+        """Mbufs allocated and not yet freed (alias kept for analysis)."""
+        return self._in_use
+
+    def verify_balanced(self) -> None:
+        """Raise when allocations outlived the workload (leak check).
+
+        Tests and the static analyzer's runtime counterpart call this
+        after draining a stack: every ``alloc`` must have met its
+        ``free``/``free_chain``.
+        """
+        if self._in_use:
+            raise MbufError(
+                f"{self._in_use} mbuf(s) leaked: {self.stats.allocations} "
+                f"alloc(s) vs {self.stats.frees} free(s)"
+            )
+
     def alloc(self, leading_space: int = 0, cluster: bool = False) -> Mbuf:
         """Allocate one mbuf, recycling a free one when possible."""
         if self._in_use >= self.limit:

@@ -31,6 +31,23 @@ class CacheGeometry:
     def num_lines(self) -> int:
         return self.size // self.line_size
 
+    @property
+    def num_sets(self) -> int:
+        """Set count (equal to the line count: direct-mapped)."""
+        return self.num_lines
+
+    def set_of_addr(self, addr: int) -> int:
+        """Cache set index a byte address maps to."""
+        return (addr // self.line_size) % self.num_lines
+
+    def describe(self) -> dict[str, int]:
+        """Static description for offline analysis and reports."""
+        return {
+            "size": self.size,
+            "line_size": self.line_size,
+            "num_sets": self.num_sets,
+        }
+
 
 @dataclass(frozen=True)
 class MachineSpec:

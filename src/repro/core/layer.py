@@ -88,6 +88,15 @@ class LayerFootprint:
             per_byte_cycles=self.per_byte_cycles,
         )
 
+    def describe(self) -> dict[str, float]:
+        """Plain-dict form for offline analysis and JSON reports."""
+        return {
+            "code_bytes": self.code_bytes,
+            "data_bytes": self.data_bytes,
+            "base_cycles": self.base_cycles,
+            "per_byte_cycles": self.per_byte_cycles,
+        }
+
 
 class Layer(ABC):
     """One protocol layer.
@@ -118,6 +127,24 @@ class Layer(ABC):
         when a batch at this layer completes.
         """
         return []
+
+    @property
+    def holds_messages(self) -> bool:
+        """True when the layer overrides :meth:`flush` (it may coalesce).
+
+        Schedulers that never call flush (the non-queue disciplines)
+        would strand such a layer's held messages; the static analyzer
+        flags that combination.
+        """
+        return type(self).flush is not Layer.flush
+
+    def describe_footprint(self) -> dict[str, object]:
+        """Static description of this layer for offline analysis."""
+        return {
+            "name": self.name,
+            "holds_messages": self.holds_messages,
+            **self.footprint.describe(),
+        }
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

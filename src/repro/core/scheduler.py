@@ -21,11 +21,105 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
+from typing import Any
 
-from ..errors import SchedulerError
+from ..errors import GroupingError, SchedulerError
 from .batching import BatchPolicy
 from .binding import MachineBinding
 from .layer import Layer, Message
+
+
+@dataclass(frozen=True)
+class GroupPartitionDiagnosis:
+    """Why a grouping is (or is not) an ordered partition of the stack.
+
+    Produced by :func:`diagnose_groups`; consumed both by
+    :class:`GroupedLDLPScheduler` (to raise a precise
+    :class:`~repro.errors.GroupingError`) and by the static analyzer
+    (:mod:`repro.analysis.schedcheck`), so the runtime check and the
+    lint agree by construction.
+    """
+
+    num_layers: int
+    #: Layer indices claimed by more than one group position.
+    overlapping: tuple[int, ...] = ()
+    #: Layer indices in ``0..num_layers-1`` no group covers.
+    missing: tuple[int, ...] = ()
+    #: Indices outside ``0..num_layers-1``.
+    out_of_range: tuple[int, ...] = ()
+    #: Indices that break ascending order in the flattened grouping
+    #: (a completion-ordering hazard: messages would finish out of
+    #: arrival order or be routed backwards through the stack).
+    misordered: tuple[int, ...] = ()
+    #: Positions of empty groups (a queue no message could ever leave).
+    empty_groups: tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.overlapping
+            or self.missing
+            or self.out_of_range
+            or self.misordered
+            or self.empty_groups
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary of every violation."""
+        problems: list[str] = []
+        if self.out_of_range:
+            problems.append(f"indices {list(self.out_of_range)} are out of range")
+        if self.overlapping:
+            problems.append(
+                f"layer indices {list(self.overlapping)} appear in more than "
+                f"one group"
+            )
+        if self.missing:
+            problems.append(
+                f"layer indices {list(self.missing)} are not covered by any "
+                f"group (unreachable layers)"
+            )
+        if self.misordered:
+            problems.append(
+                f"layer indices {list(self.misordered)} are out of ascending "
+                f"order (completion-ordering hazard)"
+            )
+        if self.empty_groups:
+            problems.append(f"groups at positions {list(self.empty_groups)} are empty")
+        return "; ".join(problems) if problems else "groups form an ordered partition"
+
+
+def diagnose_groups(
+    num_layers: int, groups: list[list[int]]
+) -> GroupPartitionDiagnosis:
+    """Check that ``groups`` partitions ``0..num_layers-1`` in order."""
+    flattened = [index for group in groups for index in group]
+    seen: set[int] = set()
+    overlapping: list[int] = []
+    out_of_range: list[int] = []
+    for index in flattened:
+        if not 0 <= index < num_layers:
+            if index not in out_of_range:
+                out_of_range.append(index)
+        elif index in seen and index not in overlapping:
+            overlapping.append(index)
+        seen.add(index)
+    missing = [index for index in range(num_layers) if index not in seen]
+    in_range = [index for index in flattened if 0 <= index < num_layers]
+    misordered = [
+        current
+        for previous, current in zip(in_range, in_range[1:])
+        if current <= previous and current not in overlapping
+    ]
+    empty_groups = [pos for pos, group in enumerate(groups) if not group]
+    return GroupPartitionDiagnosis(
+        num_layers=num_layers,
+        overlapping=tuple(overlapping),
+        missing=tuple(missing),
+        out_of_range=tuple(out_of_range),
+        misordered=tuple(dict.fromkeys(misordered)),
+        empty_groups=tuple(empty_groups),
+    )
 
 
 @dataclass(frozen=True)
@@ -99,6 +193,21 @@ class Scheduler(ABC):
     def busy(self) -> bool:
         """True when a service step would do work."""
         return self.pending() > 0
+
+    def describe_config(self) -> dict[str, Any]:
+        """Static description of this scheduler for offline analysis.
+
+        Everything :mod:`repro.analysis` needs to validate a
+        configuration without running it: the layer order, per-layer
+        footprints, and queueing discipline.  Subclasses extend the
+        dict with their batching/grouping parameters.
+        """
+        return {
+            "scheduler": type(self).__name__,
+            "uses_queues": self.uses_queues,
+            "input_limit": self.input_limit,
+            "layers": [layer.describe_footprint() for layer in self.layers],
+        }
 
     # ------------------------------------------------------------------
     # Service side
@@ -254,6 +363,11 @@ class LDLPScheduler(Scheduler):
     def batch_limit(self) -> int:
         return self.batch_policy.max_batch
 
+    def describe_config(self) -> dict[str, Any]:
+        config = super().describe_config()
+        config["batch_limit"] = self.batch_limit
+        return config
+
     def service_step(self) -> list[Completion]:
         if not self.input_queue:
             return []
@@ -342,16 +456,27 @@ class GroupedLDLPScheduler(Scheduler):
         self.batch_sizes: list[int] = []
 
     def _validate_groups(self, groups: list[list[int]]) -> None:
-        flattened = [index for group in groups for index in group]
-        if flattened != list(range(len(self.layers))):
-            raise SchedulerError(
-                f"groups {groups} must partition layers 0..{len(self.layers) - 1} "
-                f"in order"
+        diagnosis = diagnose_groups(len(self.layers), groups)
+        if not diagnosis.ok:
+            raise GroupingError(
+                f"groups {groups} must partition layers "
+                f"0..{len(self.layers) - 1} in order: {diagnosis.describe()}",
+                overlapping=diagnosis.overlapping,
+                missing=diagnosis.missing,
+                out_of_range=diagnosis.out_of_range,
+                misordered=diagnosis.misordered,
+                empty_groups=diagnosis.empty_groups,
             )
 
     @property
     def batch_limit(self) -> int:
         return self.batch_policy.max_batch
+
+    def describe_config(self) -> dict[str, Any]:
+        config = super().describe_config()
+        config["batch_limit"] = self.batch_limit
+        config["groups"] = [list(group) for group in self.groups]
+        return config
 
     def service_step(self) -> list[Completion]:
         if not self.input_queue:

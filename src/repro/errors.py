@@ -56,6 +56,32 @@ class SchedulerError(ReproError):
     """
 
 
+class GroupingError(SchedulerError):
+    """Layer groups do not form an ordered partition of the stack.
+
+    Carries the offending layer indices so tooling (and error messages)
+    can say exactly *which* layers overlap, are unreachable, or would
+    complete out of order, instead of a bare assertion.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        overlapping: tuple[int, ...] = (),
+        missing: tuple[int, ...] = (),
+        out_of_range: tuple[int, ...] = (),
+        misordered: tuple[int, ...] = (),
+        empty_groups: tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.overlapping = overlapping
+        self.missing = missing
+        self.out_of_range = out_of_range
+        self.misordered = misordered
+        self.empty_groups = empty_groups
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

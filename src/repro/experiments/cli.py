@@ -42,7 +42,18 @@ EXPERIMENTS = {
     "ablations": lambda args: ablations.main(),
     "schedules": lambda args: schedules.main(),
     "motivation": lambda args: print(motivation.run().render()),
+    "analyze": lambda args: _analyze(args),
 }
+
+
+def _analyze(args: argparse.Namespace) -> None:
+    """Static analysis of both modelled stacks (see repro.analysis)."""
+    from ..analysis.cli import main as analysis_main
+
+    analysis_main(
+        ["--stack", "synthetic", "--stack", "netbsd", "--seed", str(args.seed),
+         "--fail-on", "never"]
+    )
 
 
 def _figure1(args: argparse.Namespace) -> None:

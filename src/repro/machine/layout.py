@@ -62,6 +62,20 @@ class MemoryLayout:
     def _round_up(self, addr: int) -> int:
         return -(-addr // self.line_size) * self.line_size
 
+    @property
+    def reserved_bytes(self) -> int:
+        """Total bytes already reserved by placed regions."""
+        return sum(end - start for start, end in self._intervals)
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes of the window not yet reserved (ignores fragmentation)."""
+        return self.span - self.reserved_bytes
+
+    def placed_intervals(self) -> list[tuple[int, int]]:
+        """Sorted (start, end) spans of every placed region (read-only)."""
+        return list(self._intervals)
+
     def _overlaps(self, start: int, end: int) -> bool:
         for existing_start, existing_end in self._intervals:
             if start < existing_end and existing_start < end:
@@ -92,6 +106,11 @@ class MemoryLayout:
             raise LayoutError(
                 f"region {region.name!r} ({region.size} B) exceeds the "
                 f"{self.span} B placement window"
+            )
+        if region.size > self.free_bytes:
+            raise LayoutError(
+                f"region {region.name!r} ({region.size} B) cannot fit: only "
+                f"{self.free_bytes} B of the {self.span} B window remain free"
             )
         max_line = (self.base + self.span - region.size) // self.line_size
         min_line = -(-self.base // self.line_size)

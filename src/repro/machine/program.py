@@ -73,6 +73,17 @@ class Region:
         last = (base + self.size - 1) // line_size
         return np.arange(first, last + 1, dtype=np.int64)
 
+    def cache_set_indices(self, line_size: int, num_sets: int) -> np.ndarray:
+        """Distinct cache set indices this region's lines map to.
+
+        For a direct-mapped cache of ``num_sets`` lines this is exactly
+        the footprint the region competes for; two placed regions alias
+        iff their index sets intersect.
+        """
+        if num_sets <= 0:
+            raise LayoutError(f"num_sets must be positive, got {num_sets}")
+        return np.unique(self.line_numbers(line_size) % num_sets)
+
 
 @dataclass
 class Program:
@@ -117,3 +128,24 @@ class Program:
             if region.placed and region.contains(addr):
                 return region.name
         return None
+
+    def describe_footprint(self, line_size: int = 32) -> dict[str, int]:
+        """Static footprint summary for offline analysis.
+
+        Line counts are per-region sums (region-internal lines never
+        collide, but two regions may share a line only if adjacent and
+        unaligned — the layout code line-aligns, so sums are exact).
+        """
+
+        def lines(regions: list[Region]) -> int:
+            return sum(
+                -(-region.size // line_size) for region in regions
+            )
+
+        return {
+            "regions": len(self.regions),
+            "code_bytes": self.total_size(RegionKind.CODE),
+            "data_bytes": self.total_size(RegionKind.DATA),
+            "code_lines": lines(self.code_regions()),
+            "data_lines": lines(self.data_regions()),
+        }

@@ -13,8 +13,12 @@ this.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..machine.program import Program
 
 # Table-1 layer names.
 LAYER_ETHERNET = "Ethernet"
@@ -169,3 +173,23 @@ def fn_to_layer_map() -> dict[str, str]:
 def layer_catalog_bytes(layer: str) -> int:
     """Total catalogued code bytes in one layer."""
     return sum(spec.size for spec in functions_of_layer(layer))
+
+
+def layer_code_sizes() -> dict[str, int]:
+    """Catalogued code bytes of every Table-1 layer, in taxonomy order."""
+    return {layer: layer_catalog_bytes(layer) for layer in ALL_LAYERS}
+
+
+def catalog_program() -> Program:
+    """The Figure-1 catalog as an (unplaced) :class:`Program`.
+
+    One code region per kernel function, ready to hand to a
+    :class:`~repro.machine.layout.MemoryLayout` and the static
+    conflict analyzer — the same description the simulator places.
+    """
+    from ..machine.program import Program
+
+    program = Program()
+    for spec in CATALOG:
+        program.add_code(spec.name, spec.size)
+    return program

@@ -49,6 +49,15 @@ PHASE_EXIT = "exit"
 PHASES = (PHASE_ENTRY, PHASE_INTR, PHASE_EXIT)
 
 
+def hot_function_names() -> tuple[str, ...]:
+    """Functions the receive path actually executes (Figure 1's map).
+
+    This is the hot working set the static conflict analyzer checks:
+    the catalog minus functions the traced path never touches.
+    """
+    return tuple(CODE_PLAN)
+
+
 @dataclass(frozen=True)
 class CodePlan:
     """Per-phase touched-line counts for one function.

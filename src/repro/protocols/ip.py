@@ -8,7 +8,7 @@ fragments, and dispatch on protocol.  Options are carried opaquely.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ChecksumError, ProtocolError
 from .checksum import internet_checksum

@@ -14,7 +14,7 @@ rather than travelling up the receive stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..buffers.mbuf import MbufChain

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from ..core.layer import Layer, LayerFootprint, Message
 from ..errors import SignallingError
 from .q93b import (
-    InfoElement,
     InfoElementId,
     MessageType,
     SignallingMessage,

@@ -6,7 +6,6 @@ without costing minutes.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

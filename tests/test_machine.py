@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cache import CacheGeometry, MachineSpec
+from repro.cache import MachineSpec
 from repro.errors import ConfigurationError, LayoutError
 from repro.machine import (
     CPU,

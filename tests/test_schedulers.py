@@ -12,7 +12,6 @@ from repro.core import (
     ILPScheduler,
     LDLPScheduler,
     Layer,
-    LayerFootprint,
     MachineBinding,
     Message,
     PassthroughLayer,

@@ -8,14 +8,12 @@ from repro.core import ConventionalScheduler, LDLPScheduler, Message
 from repro.errors import SignallingError
 from repro.signalling import (
     CallState,
-    InfoElement,
     InfoElementId,
     MessageType,
     SignallingMessage,
     build_switch,
     connect,
     release,
-    release_complete,
     saal_frame,
     saal_unframe,
     setup,

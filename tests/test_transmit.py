@@ -1,6 +1,5 @@
 """Tests for the transmit-side stack, including full loopback."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
