@@ -1,0 +1,67 @@
+"""Benchmark H — the experiment harness itself.
+
+Measures the infrastructure the reproduction's perf trajectory rests
+on: content-key hashing, cache lookup, and a real (short) sweep run
+cold vs. warm.  A warm run should be dominated by JSON deserialization,
+orders of magnitude under the cold compute.
+"""
+
+from repro.harness import ResultCache, content_key, run_experiment
+from repro.harness.points import SweepPoint, SweepSpec, Tolerance
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="benchsweep",
+        points=lambda scale: [
+            SweepPoint(
+                experiment="benchsweep",
+                key=f"{scheduler}/rate={rate}",
+                func="repro.sim.runner:poisson_point",
+                params={
+                    "scheduler": scheduler,
+                    "rate": rate,
+                    "seeds": [0],
+                    "duration": 0.02,
+                },
+            )
+            for scheduler in ("conventional", "ldlp")
+            for rate in (3000, 9000)
+        ],
+        quantities=lambda points, results: {},
+        sources=("repro.sim", "repro.core"),
+        default_tolerance=Tolerance(rel=0.1),
+    )
+
+
+def test_content_key_throughput(benchmark):
+    """Hashing one sweep point's identity (params + source digests)."""
+    spec = _spec()
+    point = spec.points_for("ci")[0]
+    key = benchmark(content_key, point, spec.sources)
+    assert len(key) == 64
+
+
+def test_cold_sweep(benchmark, tmp_path):
+    """Serial compute of a 4-point sweep with an empty cache."""
+    spec = _spec()
+
+    def run():
+        cache = ResultCache(tmp_path / "cold")
+        cache.clear("benchsweep")
+        return run_experiment(spec, jobs=1, cache=cache)
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.computed == 4
+    benchmark.extra_info["serial_s"] = outcome.serial_s
+
+
+def test_warm_sweep(benchmark, tmp_path):
+    """The same sweep replayed entirely from the on-disk cache."""
+    spec = _spec()
+    cache = ResultCache(tmp_path / "warm")
+    run_experiment(spec, jobs=1, cache=cache)
+
+    outcome = benchmark(run_experiment, spec, jobs=1, cache=cache)
+    assert outcome.cache_hits == 4 and outcome.computed == 0
+    benchmark.extra_info["hit_rate"] = outcome.hit_rate

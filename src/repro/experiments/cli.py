@@ -5,6 +5,17 @@ Usage::
     ldlp-experiment table1
     ldlp-experiment figure6 --paper-scale
     ldlp-experiment all
+
+    ldlp-experiment run --jobs 4            # parallel harness + cache
+    ldlp-experiment run figure5 figure6 --jobs 4 --scale default
+    ldlp-experiment regress --jobs 2        # golden regression gate
+    ldlp-experiment regress figure8 --bless
+
+The first form runs one experiment serially and prints its table.  The
+``run``/``regress`` forms go through :mod:`repro.harness`: sweep points
+fan out over a worker pool, results are cached by content hash, timings
+land in ``BENCH_experiments.json``, and ``regress`` gates reproduced
+quantities against the checked-in ``goldens/``.
 """
 
 from __future__ import annotations
@@ -85,7 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Subcommands dispatched to the parallel harness CLI (repro.harness.cli).
+HARNESS_COMMANDS = ("run", "regress")
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in HARNESS_COMMANDS:
+        from ..harness.cli import main as harness_main
+
+        return harness_main(argv)
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for index, name in enumerate(names):

@@ -9,7 +9,9 @@ touched.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from ..harness.points import SweepPoint, SweepSpec
 from ..netbsd.functions import CATALOG, catalog_by_name
 from ..netbsd.layers import PAPER_PHASES
 from ..netbsd.receive_path import PHASES, ReceivePathModel
@@ -115,6 +117,63 @@ def main() -> None:
     print(result.phase_table())
     print()
     print(result.code_map())
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+
+def compute_point(seed: int) -> dict:
+    """Figure 1's per-phase column totals as plain numbers."""
+    result = run(seed=seed)
+    return {
+        "phases": {
+            phase.label: {
+                "code_bytes": phase.code.bytes,
+                "code_refs": phase.code.refs,
+                "read_bytes": phase.read.bytes,
+                "read_refs": phase.read.refs,
+                "write_bytes": phase.write.bytes,
+                "write_refs": phase.write.refs,
+            }
+            for phase in result.stats
+        },
+        "within_tolerance": result.within_tolerance(rel=0.25),
+    }
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    del scale
+    return [
+        SweepPoint(
+            experiment="figure1",
+            key="seed=0",
+            func="repro.experiments.figure1:compute_point",
+            params={"seed": 0},
+        )
+    ]
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    data = results[points[0].key]
+    quantities: dict[str, float] = {
+        "within_tolerance": float(bool(data["within_tolerance"]))
+    }
+    for label, totals in data["phases"].items():
+        prefix = label.replace(" ", "_")
+        for key, value in totals.items():
+            quantities[f"{prefix}_{key}"] = float(value)
+    return quantities
+
+
+SWEEP = SweepSpec(
+    name="figure1",
+    points=sweep_points,
+    quantities=golden_quantities,
+    sources=("repro.netbsd", "repro.trace"),
+)
 
 
 if __name__ == "__main__":

@@ -15,7 +15,9 @@ batch cap (14 messages in the 8 KB data cache) binds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from ..harness.points import SweepPoint, SweepSpec, Tolerance
 from ..sim.runner import SimulationConfig, run_averaged
 from ..sim.stats import RunResult
 from ..traffic.poisson import PoissonSource
@@ -105,6 +107,106 @@ def run(
 
 def main() -> None:
     print(run().render())
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+#: (rates, seeds, duration) per harness scale.
+SWEEP_SCALES: dict[str, tuple[tuple[int, ...], tuple[int, ...], float]] = {
+    "ci": ((1000, 4000, 7000, 9500), (0, 1), 0.1),
+    "default": (PAPER_RATES, DEFAULT_SEEDS, DEFAULT_DURATION),
+    "paper": (PAPER_RATES, tuple(range(100)), 1.0),
+}
+
+SCHEDULERS = ("conventional", "ldlp")
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    """One point per (scheduler, arrival rate): a pure Section-4 run."""
+    rates, seeds, duration = SWEEP_SCALES[scale]
+    return [
+        SweepPoint(
+            experiment="figure5",
+            key=f"{scheduler}/rate={rate}",
+            func="repro.sim.runner:poisson_point",
+            params={
+                "scheduler": scheduler,
+                "rate": rate,
+                "seeds": list(seeds),
+                "duration": duration,
+            },
+        )
+        for scheduler in SCHEDULERS
+        for rate in rates
+    ]
+
+
+def point_series(
+    points: list[SweepPoint], results: dict[str, Any], scheduler: str
+) -> tuple[tuple[int, ...], list[RunResult]]:
+    """Reassemble one scheduler's rate-ordered series from point results."""
+    rates: list[int] = []
+    series: list[RunResult] = []
+    for point in points:
+        if point.params["scheduler"] != scheduler:
+            continue
+        rates.append(int(point.params["rate"]))
+        series.append(RunResult.from_dict(results[point.key]))
+    return tuple(rates), series
+
+
+def assemble(points: list[SweepPoint], results: dict[str, Any]) -> Figure5Result:
+    rates, conventional = point_series(points, results, "conventional")
+    _, ldlp = point_series(points, results, "ldlp")
+    return Figure5Result(rates=rates, conventional=conventional, ldlp=ldlp)
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    """Figure 5's paper-expected quantities: conventional flat near
+    ~1000 misses/message, LDLP instruction misses falling >5x into the
+    batch cap, and the top-rate miss-count advantage."""
+    figure = assemble(points, results)
+    conv_total = [r.misses.total for r in figure.conventional]
+    ldlp_i = [r.misses.instruction for r in figure.ldlp]
+    return {
+        "conv_total_misses_mean": sum(conv_total) / len(conv_total),
+        "conv_total_misses_top": conv_total[-1],
+        "ldlp_instruction_first": ldlp_i[0],
+        "ldlp_instruction_last": ldlp_i[-1],
+        "ldlp_instruction_fall_ratio": ldlp_i[0] / max(ldlp_i[-1], 1e-9),
+        "ldlp_data_last": figure.ldlp[-1].misses.data,
+        "ldlp_over_conv_total_top": (
+            figure.ldlp[-1].misses.total / figure.conventional[-1].misses.total
+        ),
+        "ldlp_batch_top": figure.ldlp[-1].mean_batch_size,
+    }
+
+
+SWEEP = SweepSpec(
+    name="figure5",
+    points=sweep_points,
+    quantities=golden_quantities,
+    assemble=assemble,
+    sources=(
+        "repro.sim",
+        "repro.core",
+        "repro.cache",
+        "repro.machine",
+        "repro.traffic",
+        "repro.buffers",
+    ),
+    default_tolerance=Tolerance(rel=0.15),
+    tolerances={
+        "ldlp_instruction_fall_ratio": Tolerance(rel=0.35),
+        "ldlp_instruction_last": Tolerance(rel=0.30),
+        "ldlp_data_last": Tolerance(rel=0.30),
+        "ldlp_over_conv_total_top": Tolerance(rel=0.30),
+        "ldlp_batch_top": Tolerance(rel=0.30),
+    },
+)
 
 
 if __name__ == "__main__":

@@ -15,9 +15,11 @@ near 426 (4.4BSD) and 176 (simple) cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..machine.cpu import CPU
 from ..cache.hierarchy import DEC3000_400
+from ..harness.points import SweepPoint, SweepSpec, Tolerance
 from ..machine.layout import MemoryLayout
 from ..machine.program import Region, RegionKind
 from ..protocols.checksum import (
@@ -49,7 +51,7 @@ def checksum_cycles(
     in all cases").
     """
     cpu = CPU(spec)
-    layout = MemoryLayout(line_size=spec.icache.line_size)
+    layout = MemoryLayout(line_size=spec.icache.line_size, rng=0)
     region = Region(model.name, model.active_code_bytes, RegionKind.CODE)
     layout.place_sequential(region)
     lines = region.line_numbers(spec.icache.line_size)
@@ -138,6 +140,76 @@ def run(sizes: tuple[int, ...] = PAPER_SIZES) -> Figure8Result:
 
 def main() -> None:
     print(run().render())
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+_MODELS = {"bsd": BSD_CKSUM_MODEL, "simple": SIMPLE_CKSUM_MODEL}
+
+
+def checksum_point(model: str, cold: bool, sizes: list[int]) -> dict:
+    """One checksum series: a routine swept over message sizes."""
+    cost_model = _MODELS[model]
+    return {
+        "cycles": [
+            checksum_cycles(cost_model, size, cold=cold) for size in sizes
+        ]
+    }
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    """Four points (routine x cache temperature); the experiment is
+    deterministic and fast, so every scale runs the full size sweep."""
+    del scale
+    return [
+        SweepPoint(
+            experiment="figure8",
+            key=f"{model}/{'cold' if cold else 'warm'}",
+            func="repro.experiments.figure8:checksum_point",
+            params={"model": model, "cold": cold, "sizes": list(PAPER_SIZES)},
+        )
+        for model in ("bsd", "simple")
+        for cold in (False, True)
+    ]
+
+
+def assemble(points: list[SweepPoint], results: dict[str, Any]) -> Figure8Result:
+    del points
+    return Figure8Result(
+        sizes=PAPER_SIZES,
+        bsd_warm=results["bsd/warm"]["cycles"],
+        simple_warm=results["simple/warm"]["cycles"],
+        bsd_cold=results["bsd/cold"]["cycles"],
+        simple_cold=results["simple/cold"]["cycles"],
+    )
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    """Figure 8's annotated numbers: the 426/176-cycle cold intercepts
+    and the ~900-byte cold crossover, plus warm endpoints."""
+    figure = assemble(points, results)
+    return {
+        "bsd_cold_intercept": figure.bsd_cold[0],
+        "simple_cold_intercept": figure.simple_cold[0],
+        "cold_crossover_bytes": figure.cold_crossover(),
+        "bsd_warm_at_1000": figure.bsd_warm[-1],
+        "simple_warm_at_1000": figure.simple_warm[-1],
+    }
+
+
+SWEEP = SweepSpec(
+    name="figure8",
+    points=sweep_points,
+    quantities=golden_quantities,
+    assemble=assemble,
+    sources=("repro.machine", "repro.cache", "repro.protocols.checksum"),
+    # The checksum model is deterministic: exact reproduction (a hair of
+    # absolute slack for float accumulation across numpy builds).
+    default_tolerance=Tolerance(abs=1e-6),
+)
 
 
 if __name__ == "__main__":

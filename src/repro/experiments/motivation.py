@@ -18,10 +18,12 @@ sequence, so end-to-end setup time ≈ Σ per-hop (queueing + processing)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from ..core.batching import BatchPolicy
+from ..harness.points import SweepPoint, SweepSpec, Tolerance
 from ..core.binding import MachineBinding
 from ..core.layer import Message
 from ..core.scheduler import ConventionalScheduler, LDLPScheduler
@@ -149,6 +151,79 @@ def run(
 
 def main() -> None:
     print(run().render())
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+
+def compute_point(
+    scheduler: str, pair_rate: float, duration: float, seed: int
+) -> dict:
+    """Per-hop SETUP latency of one switch under one scheduler."""
+    return {
+        "per_hop_latency_s": per_hop_latency(scheduler, pair_rate, duration, seed)
+    }
+
+
+#: (pair rate, duration, seed) per harness scale.
+SWEEP_SCALES: dict[str, tuple[float, float, int]] = {
+    "ci": (10_000.0, 0.15, 5),
+    "default": (10_000.0, 0.3, 5),
+    "paper": (10_000.0, 1.0, 5),
+}
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    pair_rate, duration, seed = SWEEP_SCALES[scale]
+    return [
+        SweepPoint(
+            experiment="motivation",
+            key=scheduler,
+            func="repro.experiments.motivation:compute_point",
+            params={
+                "scheduler": scheduler,
+                "pair_rate": pair_rate,
+                "duration": duration,
+                "seed": seed,
+            },
+        )
+        for scheduler in ("conventional", "ldlp")
+    ]
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    """Section 1's arithmetic: per-hop processing latency per scheduler
+    and whether LDLP meets the paper's ~100 us goal (< 1 ms here)."""
+    conv = results["conventional"]["per_hop_latency_s"]
+    ldlp = results["ldlp"]["per_hop_latency_s"]
+    return {
+        "conventional_per_hop_ms": 1e3 * conv,
+        "ldlp_per_hop_ms": 1e3 * ldlp,
+        "goal_met": float(ldlp < 1e-3),
+    }
+
+
+SWEEP = SweepSpec(
+    name="motivation",
+    points=sweep_points,
+    quantities=golden_quantities,
+    sources=(
+        "repro.sim",
+        "repro.core",
+        "repro.cache",
+        "repro.machine",
+        "repro.signalling",
+        "repro.buffers",
+    ),
+    default_tolerance=Tolerance(rel=0.3),
+    tolerances={
+        "goal_met": Tolerance(),
+        "ldlp_per_hop_ms": Tolerance(rel=0.5),
+    },
+)
 
 
 if __name__ == "__main__":

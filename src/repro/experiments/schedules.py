@@ -9,6 +9,8 @@ figures.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..core.layer import CountingLayer, Message
 from ..core.scheduler import (
     ConventionalScheduler,
@@ -16,6 +18,7 @@ from ..core.scheduler import (
     LDLPScheduler,
 )
 from ..core.batching import BatchPolicy
+from ..harness.points import SweepPoint, SweepSpec
 
 
 def observed_order(
@@ -89,6 +92,62 @@ def main() -> None:
     print()
     order = observed_order(LDLPScheduler, 4, 2, batch=2)
     print(render_order(order, 4, 2))
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+_SCHEDULER_CLASSES = {
+    "conventional": ConventionalScheduler,
+    "ilp": ILPScheduler,
+    "ldlp": LDLPScheduler,
+}
+
+
+def compute_point(scheduler: str, num_layers: int, num_messages: int) -> dict:
+    """The exact (layer, message) visit order one scheduler produces."""
+    batch = num_messages if scheduler == "ldlp" else None
+    order = observed_order(
+        _SCHEDULER_CLASSES[scheduler], num_layers, num_messages, batch
+    )
+    return {"order": [[layer, message] for layer, message in order]}
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    del scale  # the conceptual figures have one canonical size
+    return [
+        SweepPoint(
+            experiment="schedules",
+            key=scheduler,
+            func="repro.experiments.schedules:compute_point",
+            params={"scheduler": scheduler, "num_layers": 4, "num_messages": 2},
+        )
+        for scheduler in _SCHEDULER_CLASSES
+    ]
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    """Fingerprint each schedule's visit order so any change to a
+    scheduler's visit sequence trips the gate by name."""
+    import zlib
+
+    quantities: dict[str, float] = {}
+    for point in points:
+        order = results[point.key]["order"]
+        encoded = ";".join(f"{layer},{message}" for layer, message in order)
+        quantities[f"{point.key}_order_crc"] = float(zlib.crc32(encoded.encode()))
+        quantities[f"{point.key}_steps"] = float(len(order))
+    return quantities
+
+
+SWEEP = SweepSpec(
+    name="schedules",
+    points=sweep_points,
+    quantities=golden_quantities,
+    sources=("repro.core",),
+)
 
 
 if __name__ == "__main__":

@@ -7,9 +7,12 @@ prints them next to the paper's published values.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from typing import Any
 
 from ..cache.workingset import Category, WorkingSetReport
+from ..harness.points import SweepPoint, SweepSpec
 from ..netbsd.layers import ALL_LAYERS, PAPER_TABLE1, PAPER_TABLE1_TOTAL
 from ..netbsd.receive_path import ReceivePathModel
 from .report import render_table
@@ -93,6 +96,75 @@ def run(seed: int = 0) -> Table1Result:
 
 def main() -> None:
     print(run().render())
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+
+def slug(layer: str) -> str:
+    """Quantity-name-safe form of a layer name (``Socket low`` ->
+    ``socket_low``)."""
+    return re.sub(r"[^a-z0-9]+", "_", layer.lower()).strip("_")
+
+
+def compute_point(seed: int) -> dict:
+    """The full measured Table 1 as plain numbers."""
+    result = run(seed=seed)
+    return {
+        "layers": {
+            layer: {
+                "code": result.measured(layer, Category.CODE),
+                "readonly": result.measured(layer, Category.READONLY),
+                "mutable": result.measured(layer, Category.MUTABLE),
+            }
+            for layer in ALL_LAYERS
+        },
+        "totals": {
+            "code": result.report.total(Category.CODE).bytes,
+            "readonly": result.report.total(Category.READONLY).bytes,
+            "mutable": result.report.total(Category.MUTABLE).bytes,
+        },
+        "matches_paper": result.matches_paper(),
+    }
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    del scale  # deterministic single-seed analysis at every scale
+    return [
+        SweepPoint(
+            experiment="table1",
+            key="seed=0",
+            func="repro.experiments.table1:compute_point",
+            params={"seed": 0},
+        )
+    ]
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    """Every Table-1 cell, by name, plus the column totals — all exact
+    integers, so the tolerance is zero."""
+    data = results[points[0].key]
+    quantities: dict[str, float] = {
+        "total_code": float(data["totals"]["code"]),
+        "total_readonly": float(data["totals"]["readonly"]),
+        "total_mutable": float(data["totals"]["mutable"]),
+        "matches_paper": float(bool(data["matches_paper"])),
+    }
+    for layer, cells in data["layers"].items():
+        for category, value in cells.items():
+            quantities[f"{slug(layer)}_{category}"] = float(value)
+    return quantities
+
+
+SWEEP = SweepSpec(
+    name="table1",
+    points=sweep_points,
+    quantities=golden_quantities,
+    sources=("repro.netbsd", "repro.trace", "repro.cache"),
+)
 
 
 if __name__ == "__main__":

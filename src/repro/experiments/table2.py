@@ -10,7 +10,9 @@ code rather than retyped.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from ..harness.points import SweepPoint, SweepSpec
 from ..netbsd.functions import fn_to_layer_map
 from ..netbsd.receive_path import PHASES, ReceivePathModel
 from ..trace.buffer import TraceBuffer
@@ -107,6 +109,52 @@ def main() -> None:
     result = run()
     print(result.render())
     print(f"narrative orderings hold: {result.narrative_holds()}")
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+
+def compute_point(seed: int) -> dict:
+    """Table 2's checkable content: does the generated trace realize
+    every narrated ordering, and how many functions run per phase."""
+    result = run(seed=seed)
+    return {
+        "narrative_holds": result.narrative_holds(),
+        "phase_function_counts": {
+            phase: len(result.phase_functions(phase)) for phase in PHASES
+        },
+    }
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    del scale
+    return [
+        SweepPoint(
+            experiment="table2",
+            key="seed=0",
+            func="repro.experiments.table2:compute_point",
+            params={"seed": 0},
+        )
+    ]
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    data = results[points[0].key]
+    quantities = {"narrative_holds": float(bool(data["narrative_holds"]))}
+    for phase, count in data["phase_function_counts"].items():
+        quantities[f"functions_{phase.replace(' ', '_')}"] = float(count)
+    return quantities
+
+
+SWEEP = SweepSpec(
+    name="table2",
+    points=sweep_points,
+    quantities=golden_quantities,
+    sources=("repro.netbsd", "repro.trace"),
+)
 
 
 if __name__ == "__main__":

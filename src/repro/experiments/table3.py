@@ -8,8 +8,10 @@ next to the published Table 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..cache.workingset import Category, LineSizeTable, WorkingSetAnalyzer
+from ..harness.points import SweepPoint, SweepSpec, Tolerance
 from ..netbsd.layers import PAPER_TABLE3
 from ..netbsd.receive_path import ReceivePathModel
 from .report import pct, render_table
@@ -101,6 +103,58 @@ def run(seed: int = 0) -> Table3Result:
 
 def main() -> None:
     print(run().render())
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+
+def compute_point(seed: int) -> dict:
+    """Every defined Table-3 cell (percent change vs 32-byte lines)."""
+    result = run(seed=seed)
+    rows: dict[str, dict[str, float]] = {}
+    for paper_row in PAPER_TABLE3:
+        measured = result.measured_row(paper_row.line_size)
+        rows[str(paper_row.line_size)] = {
+            key: value for key, value in measured.items() if value is not None
+        }
+    return {"rows": rows, "within_tolerance": result.within_tolerance()}
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    del scale
+    return [
+        SweepPoint(
+            experiment="table3",
+            key="seed=0",
+            func="repro.experiments.table3:compute_point",
+            params={"seed": 0},
+        )
+    ]
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    data = results[points[0].key]
+    quantities: dict[str, float] = {
+        "within_tolerance": float(bool(data["within_tolerance"]))
+    }
+    for line_size, cells in data["rows"].items():
+        for key, value in cells.items():
+            quantities[f"l{line_size}_{key}"] = float(value)
+    return quantities
+
+
+SWEEP = SweepSpec(
+    name="table3",
+    points=sweep_points,
+    quantities=golden_quantities,
+    sources=("repro.netbsd", "repro.trace", "repro.cache"),
+    # Percent-change cells are deterministic floats; allow only float
+    # noise across numpy builds.
+    default_tolerance=Tolerance(abs=1e-6),
+)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+"""``BENCH_experiments.json`` — the repo's experiment-perf trajectory.
+
+One file records, for every experiment the harness ran: how many sweep
+points it has, how many came from the cache, wall-clock and estimated
+serial time, the parallel/cache speedup, and the slowest point.  CI
+uploads it as an artifact on every run, so the timing trajectory of the
+reproduction is tracked alongside its correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from ..version import __version__
+from .runner import ExperimentRun
+
+#: Default output path (relative to the working directory).
+DEFAULT_BENCH_PATH = "BENCH_experiments.json"
+
+
+def bench_record(run: ExperimentRun) -> dict:
+    """The BENCH entry for one experiment run."""
+    slowest_key = max(run.point_elapsed, key=run.point_elapsed.__getitem__)
+    return {
+        "scale": run.scale,
+        "jobs": run.jobs,
+        "points": len(run.points),
+        "cache_hits": run.cache_hits,
+        "computed": run.computed,
+        "hit_rate": round(run.hit_rate, 4),
+        "wall_s": round(run.wall_s, 4),
+        "serial_estimate_s": round(run.serial_s, 4),
+        "speedup": round(run.speedup, 2),
+        "mean_point_s": round(run.serial_s / len(run.points), 4),
+        "slowest_point": {
+            "key": slowest_key,
+            "elapsed_s": round(run.point_elapsed[slowest_key], 4),
+        },
+    }
+
+
+def write_bench(
+    runs: list[ExperimentRun], path: str | Path = DEFAULT_BENCH_PATH
+) -> Path:
+    """Write the BENCH file for a set of experiment runs."""
+    experiments = {run.name: bench_record(run) for run in runs}
+    payload = {
+        "bench": "experiments",
+        "version": __version__,
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "totals": {
+            "experiments": len(runs),
+            "points": sum(len(run.points) for run in runs),
+            "cache_hits": sum(run.cache_hits for run in runs),
+            "computed": sum(run.computed for run in runs),
+            "wall_s": round(sum(run.wall_s for run in runs), 4),
+            "serial_estimate_s": round(sum(run.serial_s for run in runs), 4),
+        },
+        "experiments": experiments,
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return out

@@ -1,0 +1,163 @@
+"""On-disk result cache keyed by content hashes.
+
+A cached sweep point is addressed by the SHA-256 of its function path,
+its parameters, the package version, and a digest of the source files
+the experiment declares it depends on.  Any edit to a relevant model
+file therefore invalidates exactly the experiments that use it, while
+unrelated experiments keep their cached points.
+
+Layout on disk (default ``.ldlp-cache/``, override with ``--cache-dir``
+or ``LDLP_CACHE_DIR``)::
+
+    .ldlp-cache/
+      figure5/
+        <16-hex-digit key prefix>.json   # {"key", "point_key", "func",
+                                         #  "params", "result", "elapsed_s"}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from importlib import import_module
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..version import __version__
+from .points import SweepPoint
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "LDLP_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".ldlp-cache"
+
+_digest_memo: dict[tuple[str, ...], str] = {}
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for hashing and byte-identical diffing."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def source_digest(modules: tuple[str, ...]) -> str:
+    """Hash the source files of the given modules/packages.
+
+    Package names cover every ``.py`` file under the package directory;
+    module names cover the single file.  The digest changes whenever any
+    covered file's bytes change, so cached results can never survive an
+    edit to the models that produced them.
+    """
+    if modules in _digest_memo:
+        return _digest_memo[modules]
+    outer = hashlib.sha256()
+    for name in sorted(modules):
+        module = import_module(name)
+        module_file = getattr(module, "__file__", None)
+        if module_file is None:
+            raise ConfigurationError(f"module {name!r} has no source file to hash")
+        path = Path(module_file)
+        files = (
+            sorted(path.parent.rglob("*.py"))
+            if path.name == "__init__.py"
+            else [path]
+        )
+        for file in files:
+            outer.update(str(file.name).encode())
+            outer.update(hashlib.sha256(file.read_bytes()).digest())
+    digest = outer.hexdigest()
+    _digest_memo[modules] = digest
+    return digest
+
+
+def content_key(point: SweepPoint, sources: tuple[str, ...]) -> str:
+    """The cache key of one sweep point."""
+    payload = canonical_json(
+        {
+            "func": point.func,
+            "params": point.params,
+            "version": __version__,
+            "sources": source_digest(sources),
+        }
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored point result plus the time it originally took."""
+
+    result: Any
+    elapsed_s: float
+
+
+class ResultCache:
+    """Content-addressed store of sweep-point results.
+
+    ``enabled=False`` turns every lookup into a miss and every store
+    into a no-op (``--no-cache``).
+    """
+
+    def __init__(self, root: str | Path | None = None, enabled: bool = True) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.enabled = enabled
+
+    def _path(self, experiment: str, key: str) -> Path:
+        return self.root / experiment / f"{key[:16]}.json"
+
+    def lookup(self, experiment: str, key: str) -> CacheEntry | None:
+        """Return the stored entry for ``key``, or None on a miss."""
+        if not self.enabled:
+            return None
+        path = self._path(experiment, key)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("key") != key:  # prefix collision or stale file
+            return None
+        return CacheEntry(result=data["result"], elapsed_s=float(data["elapsed_s"]))
+
+    def store(
+        self,
+        experiment: str,
+        key: str,
+        point: SweepPoint,
+        result: Any,
+        elapsed_s: float,
+    ) -> None:
+        """Persist one computed point result atomically."""
+        if not self.enabled:
+            return
+        path = self._path(experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "point_key": point.key,
+            "func": point.func,
+            "params": point.params,
+            "result": result,
+            "elapsed_s": elapsed_s,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        tmp.replace(path)
+
+    def clear(self, experiment: str | None = None) -> int:
+        """Delete cached entries; returns the number of files removed."""
+        roots = [self.root / experiment] if experiment else [self.root]
+        removed = 0
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for file in root.rglob("*.json"):
+                file.unlink()
+                removed += 1
+        return removed

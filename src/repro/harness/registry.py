@@ -1,0 +1,52 @@
+"""Registry of the experiments' ``SWEEP`` declarations.
+
+Specs are resolved lazily (imported at call time) so that importing
+:mod:`repro.harness` never drags in — or circularly re-enters — the
+experiment modules themselves.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+from ..errors import ConfigurationError
+from .points import SweepSpec
+
+#: Every experiment module that declares a ``SWEEP`` spec, in the
+#: canonical order used by ``ldlp-experiment run`` with no arguments.
+EXPERIMENT_MODULES: dict[str, str] = {
+    "table1": "repro.experiments.table1",
+    "table2": "repro.experiments.table2",
+    "table3": "repro.experiments.table3",
+    "figure1": "repro.experiments.figure1",
+    "figure5": "repro.experiments.figure5",
+    "figure6": "repro.experiments.figure6",
+    "figure7": "repro.experiments.figure7",
+    "figure8": "repro.experiments.figure8",
+    "motivation": "repro.experiments.motivation",
+    "ablations": "repro.experiments.ablations",
+    "schedules": "repro.experiments.schedules",
+}
+
+
+def get_spec(name: str) -> SweepSpec:
+    """Resolve one experiment's sweep spec by CLI name."""
+    try:
+        module_name = EXPERIMENT_MODULES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; expected one of "
+            f"{', '.join(EXPERIMENT_MODULES)}"
+        ) from None
+    module = import_module(module_name)
+    spec = getattr(module, "SWEEP", None)
+    if not isinstance(spec, SweepSpec):
+        raise ConfigurationError(
+            f"experiment module {module_name} declares no SWEEP spec"
+        )
+    return spec
+
+
+def all_specs() -> list[SweepSpec]:
+    """Every registered spec, in canonical order."""
+    return [get_spec(name) for name in EXPERIMENT_MODULES]

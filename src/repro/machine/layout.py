@@ -37,8 +37,13 @@ class MemoryLayout:
     span:
         Size of the address window used for random placement.
     rng:
-        numpy random generator used for random placement; pass a seeded
-        generator for reproducible layouts.
+        RNG driving random placement: a numpy generator or an integer
+        seed (coerced to a seeded generator).  The generator is owned by
+        this instance — placement never touches module-level RNG state,
+        so harness workers constructing layouts concurrently can never
+        share or interleave random streams.  When omitted, a fresh
+        entropy-seeded generator is created per instance; pass a seed
+        for reproducible layouts.
     """
 
     def __init__(
@@ -46,7 +51,7 @@ class MemoryLayout:
         line_size: int = 32,
         base: int = 0,
         span: int = DEFAULT_SPAN,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
     ) -> None:
         if line_size <= 0:
             raise LayoutError(f"line size must be positive, got {line_size}")
@@ -55,7 +60,9 @@ class MemoryLayout:
         self.line_size = line_size
         self.base = base
         self.span = span
-        self.rng = rng or np.random.default_rng()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self.rng = rng if rng is not None else np.random.default_rng()
         self._next_free = base
         self._intervals: list[tuple[int, int]] = []  # sorted (start, end)
 

@@ -23,6 +23,7 @@ analysis runs through the generic pipeline.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -467,7 +468,10 @@ class ReceivePathModel:
     def _emit_phase(
         self, trace: TraceBuffer, phase: str, data_cum: dict[str, float]
     ) -> None:
-        rng = np.random.default_rng(abs(hash(phase)) % (2**32))
+        # zlib.crc32, not hash(): str hashes are salted per interpreter
+        # (PYTHONHASHSEED), which would make the trace differ between
+        # harness worker processes and break result caching.
+        rng = np.random.default_rng(zlib.crc32(phase.encode()))
         depth_stack: list[str] = []
         script = PHASE_SCRIPTS[phase]
         layer_of = fn_to_layer_map()

@@ -249,6 +249,34 @@ def run_averaged(
     return merge_results(results)
 
 
+def poisson_point(
+    scheduler: str,
+    rate: float,
+    seeds: list[int],
+    duration: float,
+    message_size: int = 552,
+    clock_mhz: float | None = None,
+    buffer_size: int = 2048,
+) -> dict:
+    """One (scheduler, rate) sweep point of the Section-4 benchmark.
+
+    Module-level and fully determined by its arguments so harness
+    workers can execute it in parallel (it pickles by dotted name) and
+    the result cache can key it by content hash.  Returns the averaged
+    :class:`RunResult` in JSON-serializable form.
+    """
+    spec = MachineSpec() if clock_mhz is None else MachineSpec(clock_hz=clock_mhz * 1e6)
+    config = SimulationConfig(
+        scheduler=scheduler, duration=duration, spec=spec, buffer_size=buffer_size
+    )
+    result = run_averaged(
+        lambda seed: PoissonSource(rate, size=message_size, rng=seed),
+        config,
+        list(seeds),
+    )
+    return result.to_dict()
+
+
 @dataclass(frozen=True)
 class ComparisonResult:
     """Conventional vs LDLP (and optionally ILP) at one operating point."""

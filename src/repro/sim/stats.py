@@ -49,6 +49,20 @@ class LatencySummary:
     p99: float
     maximum: float
 
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "maximum": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencySummary":
+        return cls(**data)
+
     def format(self) -> str:
         from ..units import format_duration
 
@@ -71,6 +85,13 @@ class MissesPerMessage:
     @property
     def total(self) -> float:
         return self.instruction + self.data
+
+    def to_dict(self) -> dict:
+        return {"instruction": self.instruction, "data": self.data}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MissesPerMessage":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -114,6 +135,28 @@ class RunResult:
             f"cycles/msg={self.cycles_per_message:.0f} "
             f"batch={self.mean_batch_size:.1f}"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (harness result cache, BENCH files)."""
+        return {
+            "scheduler": self.scheduler,
+            "arrival_rate": self.arrival_rate,
+            "offered": self.offered,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "duration": self.duration,
+            "latency": self.latency.to_dict(),
+            "misses": self.misses.to_dict(),
+            "cycles_per_message": self.cycles_per_message,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        fields = dict(data)
+        fields["latency"] = LatencySummary.from_dict(fields["latency"])
+        fields["misses"] = MissesPerMessage.from_dict(fields["misses"])
+        return cls(**fields)
 
 
 def merge_results(results: list[RunResult]) -> RunResult:

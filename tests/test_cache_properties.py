@@ -1,0 +1,163 @@
+"""Hypothesis property tests for the cache models.
+
+These pin the invariants the simulator's correctness rests on, over
+randomly generated access traces rather than hand-picked cases:
+
+* counter sanity — misses never exceed accesses, and hits + misses
+  always equals accesses;
+* capacity — a direct-mapped cache never holds more distinct lines
+  than it has sets;
+* locality — once a span smaller than the cache is resident, repeated
+  access to it hits on every line;
+* hierarchy — the second-level cache is probed exactly on primary
+  misses, so its access count can never exceed the primary miss count;
+* equivalence — the vectorized span path matches the scalar path, and
+  1-way set-associative matches direct-mapped, access for access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import DirectMappedCache, SetAssociativeCache
+from repro.cache.hierarchy import CacheGeometry, MachineSpec, SplitCacheHierarchy
+
+#: Small geometries keep traces interesting (evictions actually happen).
+SIZES = st.sampled_from([256, 512, 1024])
+LINE_SIZES = st.sampled_from([16, 32])
+WAYS = st.sampled_from([1, 2, 4])
+
+#: A trace of (addr, size) byte accesses within a few cache-sizes of
+#: address space, so conflict misses are common.
+ACCESSES = st.lists(
+    st.tuples(st.integers(0, 4096), st.integers(0, 96)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, accesses=ACCESSES)
+def test_misses_never_exceed_accesses(size, line_size, accesses):
+    cache = DirectMappedCache(size, line_size)
+    for addr, span in accesses:
+        cache.access_span(addr, span)
+    stats = cache.stats
+    assert stats.misses <= stats.accesses
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.evictions <= stats.misses
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, ways=WAYS, accesses=ACCESSES)
+def test_set_associative_counters_sane(size, line_size, ways, accesses):
+    cache = SetAssociativeCache(size, line_size, ways=ways)
+    for addr, span in accesses:
+        cache.access(addr, span)
+    stats = cache.stats
+    assert stats.misses <= stats.accesses
+    assert stats.hits + stats.misses == stats.accesses
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, accesses=ACCESSES)
+def test_occupancy_bounded_by_set_count(size, line_size, accesses):
+    cache = DirectMappedCache(size, line_size)
+    for addr, span in accesses:
+        cache.access_span(addr, span)
+    assert len(cache.resident_lines()) <= cache.num_lines
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    size=SIZES,
+    line_size=LINE_SIZES,
+    addr=st.integers(0, 2048),
+    data=st.data(),
+)
+def test_warm_span_hits_on_repeat(size, line_size, addr, data):
+    """A contiguous span no larger than the cache, once resident, hits
+    on every line of every subsequent access — the locality the LDLP
+    batching argument depends on."""
+    # Keep the span within num_lines distinct lines: starting mid-line,
+    # a full cache-size span would touch one extra line and self-evict.
+    span = data.draw(st.integers(1, size - addr % line_size))
+    cache = DirectMappedCache(size, line_size)
+    cache.access_span(addr, span)  # warm-up may miss freely
+    before = cache.stats.misses
+    for _ in range(3):
+        assert cache.access_span(addr, span) == 0
+    assert cache.stats.misses == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(accesses=ACCESSES, instruction=st.booleans())
+def test_l2_accesses_bounded_by_l1_misses(accesses, instruction):
+    """The unified L2 is probed only on primary misses."""
+    spec = MachineSpec(
+        icache=CacheGeometry(size=512, line_size=32),
+        dcache=CacheGeometry(size=512, line_size=32),
+        l2=CacheGeometry(size=2048, line_size=32),
+    )
+    hierarchy = SplitCacheHierarchy(spec)
+    for addr, span in accesses:
+        if instruction:
+            hierarchy.fetch_code(addr, span)
+        else:
+            hierarchy.read_data(addr, span)
+    primary = hierarchy.icache if instruction else hierarchy.dcache
+    assert hierarchy.l2 is not None
+    assert hierarchy.l2.stats.accesses <= primary.stats.misses
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, accesses=ACCESSES)
+def test_span_path_matches_scalar_path(size, line_size, accesses):
+    """The vectorized DirectMappedCache.access_span must be observably
+    identical to the scalar Cache.access loop: same per-call miss
+    counts, same final counters, same resident lines."""
+    fast = DirectMappedCache(size, line_size)
+    slow = DirectMappedCache(size, line_size)
+    for addr, span in accesses:
+        assert fast.access_span(addr, span) == super(
+            DirectMappedCache, slow
+        ).access_span(addr, span)
+    assert fast.stats.misses == slow.stats.misses
+    assert fast.stats.hits == slow.stats.hits
+    assert fast.stats.evictions == slow.stats.evictions
+    assert fast.resident_lines() == slow.resident_lines()
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, accesses=ACCESSES)
+def test_one_way_equals_direct_mapped(size, line_size, accesses):
+    """SetAssociativeCache(ways=1) is a direct-mapped cache."""
+    direct = DirectMappedCache(size, line_size)
+    assoc = SetAssociativeCache(size, line_size, ways=1)
+    for addr, span in accesses:
+        assert direct.access(addr, span) == assoc.access(addr, span)
+    assert direct.stats.misses == assoc.stats.misses
+    assert direct.stats.hits == assoc.stats.hits
+    assert direct.resident_lines() == assoc.resident_lines()
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, accesses=ACCESSES)
+def test_span_report_returns_exactly_the_missed_lines(size, line_size, accesses):
+    cache = DirectMappedCache(size, line_size)
+    for addr, span in accesses:
+        if span == 0:
+            continue
+        missed = cache.access_span_report(addr, span)
+        first = addr // line_size
+        last = (addr + span - 1) // line_size
+        assert np.all(missed >= first) and np.all(missed <= last)
+        # After the access every touched line must be resident.
+        for line in range(first, last + 1):
+            present = cache.contains_line(line)
+            # A line can only be absent if a later line of the same
+            # access evicted it (span longer than the cache).
+            if last - first + 1 <= cache.num_lines:
+                assert present

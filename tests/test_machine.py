@@ -103,6 +103,36 @@ class TestMemoryLayout:
             bases.append(layout.place_random(Region("r", 64)).base)
         assert bases[0] == bases[1]
 
+    def test_int_seed_matches_generator_seed(self):
+        """An int rng is coerced to a private default_rng(seed): the two
+        spellings must place identically (workers pass plain ints)."""
+        bases = []
+        for rng in (99, np.random.default_rng(99)):
+            layout = MemoryLayout(line_size=32, rng=rng)
+            regions = [Region(f"r{i}", 200) for i in range(8)]
+            layout.place_all_random(regions)
+            bases.append([region.base for region in regions])
+        assert bases[0] == bases[1]
+
+    def test_seeded_layouts_share_no_rng_state(self):
+        """Two same-seed layouts own independent generators: drawing
+        from one must not advance the other (parallel-worker safety)."""
+        first = MemoryLayout(line_size=32, rng=5)
+        second = MemoryLayout(line_size=32, rng=5)
+        # Advance only the first layout's stream.
+        first.place_random(Region("extra", 64))
+        first_next = first.place_random(Region("r", 64)).base
+        second.place_random(Region("extra", 64))
+        second_next = second.place_random(Region("r", 64)).base
+        assert first_next == second_next
+
+    def test_unseeded_layouts_differ(self):
+        bases = {
+            MemoryLayout(line_size=32).place_random(Region("r", 64)).base
+            for _ in range(8)
+        }
+        assert len(bases) > 1
+
     def test_double_placement_rejected(self):
         layout = MemoryLayout()
         region = layout.place_sequential(Region("a", 64))
