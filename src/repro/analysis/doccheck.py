@@ -1,0 +1,165 @@
+"""Docstring-coverage check (an ``interrogate`` equivalent, stdlib-only).
+
+Walks Python sources with :mod:`ast` and computes the fraction of
+*public definitions* — modules, classes, functions, and methods whose
+names do not start with ``_`` — that carry a docstring.  CI gates the
+instrumented packages at a minimum coverage, so the documentation pass
+that accompanied the obs subsystem cannot silently rot.
+
+What counts, mirroring ``interrogate``'s defaults:
+
+* every module file is one definition (its module docstring);
+* every public ``class``, ``def``, and ``async def`` is one definition;
+* dunder methods (``__init__`` and friends) and any name with a
+  leading underscore are *excluded* — private helpers may stay terse;
+* ``@overload`` stubs and bodies that are a bare ``...`` are excluded
+  (nothing to document beyond the signature).
+
+Usage::
+
+    python -m repro.analysis.doccheck src/repro --min 80
+    python -m repro.analysis.doccheck src/repro/obs --min 100 -q
+
+Exit status: 0 when coverage meets the threshold, 1 when it falls
+short, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Default minimum coverage percentage (the CI gate's threshold).
+DEFAULT_MIN_COVERAGE = 80.0
+
+
+@dataclass
+class FileReport:
+    """Coverage of one source file: totals plus the undocumented names."""
+
+    path: Path
+    total: int = 0
+    documented: int = 0
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Documented fraction as a percentage (100.0 when empty)."""
+        return 100.0 * self.documented / self.total if self.total else 100.0
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_stub(node: ast.AST) -> bool:
+    """True for ``...``-bodied defs and ``@overload`` declarations."""
+    decorators = getattr(node, "decorator_list", [])
+    for decorator in decorators:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = getattr(target, "attr", getattr(target, "id", ""))
+        if name == "overload":
+            return True
+    body = getattr(node, "body", [])
+    return (
+        len(body) == 1
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and body[0].value.value is Ellipsis
+    )
+
+
+def check_file(path: Path) -> FileReport:
+    """Parse one file and count its documented public definitions."""
+    report = FileReport(path=path)
+    tree = ast.parse(path.read_text(), filename=str(path))
+
+    report.total += 1
+    if ast.get_docstring(tree) is not None:
+        report.documented += 1
+    else:
+        report.missing.append("<module>")
+
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        if not _is_public(node.name) or _is_stub(node):
+            continue
+        report.total += 1
+        if ast.get_docstring(node) is not None:
+            report.documented += 1
+        else:
+            report.missing.append(f"{node.name} (line {node.lineno})")
+    return report
+
+
+def iter_sources(targets: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for target in targets:
+        if target.is_dir():
+            files.update(target.rglob("*.py"))
+        elif target.suffix == ".py":
+            files.add(target)
+    return sorted(files)
+
+
+def run_check(
+    targets: list[Path], minimum: float, quiet: bool = False
+) -> int:
+    """Check coverage over ``targets``; print a report; return exit code."""
+    reports = [check_file(path) for path in iter_sources(targets)]
+    if not reports:
+        print("doccheck: no Python files found", file=sys.stderr)
+        return 2
+    total = sum(report.total for report in reports)
+    documented = sum(report.documented for report in reports)
+    coverage = 100.0 * documented / total if total else 100.0
+
+    if not quiet:
+        for report in sorted(reports, key=lambda r: r.coverage):
+            if not report.missing:
+                continue
+            print(f"{report.path} ({report.coverage:.0f}%):")
+            for name in report.missing:
+                print(f"  missing docstring: {name}")
+    verdict = "PASS" if coverage >= minimum else "FAIL"
+    print(
+        f"doccheck {verdict}: {documented}/{total} public definitions "
+        f"documented ({coverage:.1f}%, minimum {minimum:.0f}%) across "
+        f"{len(reports)} files"
+    )
+    return 0 if coverage >= minimum else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: parse arguments and run the coverage check."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.doccheck",
+        description="Docstring-coverage gate over public definitions.",
+    )
+    parser.add_argument(
+        "targets", nargs="+", type=Path, help="files or directories to check"
+    )
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=DEFAULT_MIN_COVERAGE,
+        dest="minimum",
+        help=f"minimum coverage percentage (default {DEFAULT_MIN_COVERAGE:.0f})",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="print only the summary line, not per-file misses",
+    )
+    args = parser.parse_args(argv)
+    return run_check(args.targets, args.minimum, args.quiet)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

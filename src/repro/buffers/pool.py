@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import BufferError_ as MbufError
+from ..obs.runtime import active_recorder
 from .mbuf import Mbuf, MbufChain
 
 
@@ -66,9 +67,16 @@ class MbufPool:
             )
 
     def alloc(self, leading_space: int = 0, cluster: bool = False) -> Mbuf:
-        """Allocate one mbuf, recycling a free one when possible."""
+        """Allocate one mbuf, recycling a free one when possible.
+
+        Bumps the ``mbuf.alloc`` / ``mbuf.recycled`` :mod:`repro.obs`
+        counters when a recorder is installed.
+        """
         if self._in_use >= self.limit:
             raise MbufError(f"mbuf pool exhausted (limit {self.limit})")
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.count("mbuf.alloc")
         self.stats.allocations += 1
         self._in_use += 1
         self.stats.peak_in_use = max(self.stats.peak_in_use, self._in_use)
@@ -78,6 +86,8 @@ class MbufPool:
                 candidate.offset = leading_space
                 candidate.length = 0
                 self.stats.recycled += 1
+                if recorder is not None:
+                    recorder.count("mbuf.recycled")
                 return candidate
         return Mbuf.empty(leading_space=leading_space, cluster=cluster)
 
@@ -85,6 +95,9 @@ class MbufPool:
         """Return one mbuf to the pool."""
         if self._in_use <= 0:
             raise MbufError("free without matching alloc")
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.count("mbuf.free")
         self._in_use -= 1
         self.stats.frees += 1
         self._free.append(mbuf)

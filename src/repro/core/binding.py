@@ -21,6 +21,7 @@ from ..machine.executor import (
     PlacedLayer,
 )
 from ..machine.layout import MemoryLayout
+from ..obs.runtime import active_recorder, machine_counters
 from .layer import Layer, Message
 
 #: meta key under which a message's placed buffer is stored.
@@ -90,9 +91,11 @@ class MachineBinding:
 
     @property
     def bound(self) -> bool:
+        """True once :meth:`bind` has placed the layers in memory."""
         return bool(self._placed)
 
     def placed_layer(self, name: str) -> PlacedLayer:
+        """The placed code/data regions of one bound layer, by name."""
         try:
             return self._placed[name]
         except KeyError:
@@ -121,7 +124,40 @@ class MachineBinding:
         processing: the message bytes were already swept by an earlier
         layer's integrated loop, so this invocation touches only code
         and layer data and skips the per-byte data-loop cycles.
+
+        When a :mod:`repro.obs` recorder is installed, each invocation
+        is recorded as a span on the layer's track (CPU-cycle clock,
+        cache hit/miss deltas as span counters); with no recorder the
+        only overhead is one global read.
         """
+        recorder = active_recorder()
+        if recorder is None:
+            return self._charge_cost(
+                layer, message, include_message_data, queue_overhead
+            )
+        handle = recorder.begin(
+            layer.name,
+            "invoke",
+            self.cpu.cycles,
+            machine_counters(self.cpu),
+            message_bytes=message.size,
+            queued=queue_overhead,
+        )
+        try:
+            return self._charge_cost(
+                layer, message, include_message_data, queue_overhead
+            )
+        finally:
+            recorder.end(handle, self.cpu.cycles)
+
+    def _charge_cost(
+        self,
+        layer: Layer,
+        message: Message,
+        include_message_data: bool,
+        queue_overhead: bool,
+    ) -> float:
+        """The uninstrumented charging path (see :meth:`charge`)."""
         placed = self.placed_layer(layer.name)
         buffer = self.buffer_of(message)
         start = self.cpu.cycles

@@ -90,6 +90,7 @@ class BlockingEstimate:
 
     @property
     def misses_per_message(self) -> float:
+        """Combined I+D cache misses per message at this blocking factor."""
         return self.instruction_misses_per_message + self.data_misses_per_message
 
 

@@ -81,6 +81,7 @@ class LayerFootprint:
     per_byte_cycles: float = 0.5
 
     def to_profile(self) -> ExecutionProfile:
+        """The machine-level execution profile with the same numbers."""
         return ExecutionProfile(
             code_bytes=self.code_bytes,
             data_bytes=self.data_bytes,
@@ -158,6 +159,7 @@ class PassthroughLayer(Layer):
     """
 
     def deliver(self, message: Message) -> list[Message]:
+        """Forward the message unchanged."""
         return [message]
 
 
@@ -169,6 +171,7 @@ class CountingLayer(PassthroughLayer):
         self.delivered: list[int] = []
 
     def deliver(self, message: Message) -> list[Message]:
+        """Record the message id, then forward unchanged."""
         self.delivered.append(message.msg_id)
         return [message]
 
@@ -182,5 +185,6 @@ class SinkLayer(Layer):
         self.received: list[Message] = []
 
     def deliver(self, message: Message) -> list[Message]:
+        """Consume the message (nothing propagates past the sink)."""
         self.received.append(message)
         return []

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import GroupingError, SchedulerError
+from ..obs.runtime import active_recorder
 from .batching import BatchPolicy
 from .binding import MachineBinding
 from .layer import Layer, Message
@@ -56,6 +57,7 @@ class GroupPartitionDiagnosis:
 
     @property
     def ok(self) -> bool:
+        """True when the grouping passed every structural check."""
         return not (
             self.overlapping
             or self.missing
@@ -287,6 +289,7 @@ class ConventionalScheduler(Scheduler):
     """Process one message at a time through every layer (Figure 2 left)."""
 
     def service_step(self) -> list[Completion]:
+        """Take one message and cascade it through every layer."""
         if not self.input_queue:
             return []
         message = self.input_queue.popleft()
@@ -304,6 +307,7 @@ class ILPScheduler(Scheduler):
     """
 
     def service_step(self) -> list[Completion]:
+        """One message through all layers with the data loops fused."""
         if not self.input_queue:
             return []
         message = self.input_queue.popleft()
@@ -361,14 +365,17 @@ class LDLPScheduler(Scheduler):
 
     @property
     def batch_limit(self) -> int:
+        """Largest batch one service step may assemble (the D-cache cap)."""
         return self.batch_policy.max_batch
 
     def describe_config(self) -> dict[str, Any]:
+        """Scheduler config plus the batch cap, for analysis/reporting."""
         config = super().describe_config()
         config["batch_limit"] = self.batch_limit
         return config
 
     def service_step(self) -> list[Completion]:
+        """Drain up to one batch through the stack layer by layer."""
         if not self.input_queue:
             return []
         batch = 0
@@ -376,6 +383,10 @@ class LDLPScheduler(Scheduler):
             self._queues[0].append(self.input_queue.popleft())
             batch += 1
         self.batch_sizes.append(batch)
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.count("ldlp.batches")
+            recorder.count("ldlp.batched_messages", float(batch))
         completions: list[Completion] = []
         # Run layers bottom-up; repeat while flush() backwash leaves
         # work in any queue (e.g. a held-back coalesced message).
@@ -470,15 +481,18 @@ class GroupedLDLPScheduler(Scheduler):
 
     @property
     def batch_limit(self) -> int:
+        """Largest batch one service step may assemble (the D-cache cap)."""
         return self.batch_policy.max_batch
 
     def describe_config(self) -> dict[str, Any]:
+        """Scheduler config plus the batch cap and layer grouping."""
         config = super().describe_config()
         config["batch_limit"] = self.batch_limit
         config["groups"] = [list(group) for group in self.groups]
         return config
 
     def service_step(self) -> list[Completion]:
+        """Drain up to one batch through the stack group by group."""
         if not self.input_queue:
             return []
         batch = 0
@@ -486,6 +500,10 @@ class GroupedLDLPScheduler(Scheduler):
             self._group_queues[0].append(self.input_queue.popleft())
             batch += 1
         self.batch_sizes.append(batch)
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.count("ldlp.batches")
+            recorder.count("ldlp.batched_messages", float(batch))
         completions: list[Completion] = []
         while any(self._group_queues):
             for group_index, member_layers in enumerate(self.groups):

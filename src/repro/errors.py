@@ -86,5 +86,14 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class ObsError(ReproError):
+    """An observability artifact violates the documented obs schema.
+
+    Raised by :mod:`repro.obs.schema` validators when a sink payload
+    (Chrome trace, metrics JSON) is malformed, and by sinks driven with
+    inconsistent recorder state (e.g. a span ended on an unknown track).
+    """
+
+
 class SignallingError(ProtocolError):
     """A signalling (mini-Q.93B) protocol violation."""

@@ -11,11 +11,16 @@ Usage::
     ldlp-experiment regress --jobs 2        # golden regression gate
     ldlp-experiment regress figure8 --bless
 
+    ldlp-experiment trace figure6 --sink chrome   # Perfetto timeline
+    ldlp-experiment trace receive --sink table    # live miss attribution
+
 The first form runs one experiment serially and prints its table.  The
 ``run``/``regress`` forms go through :mod:`repro.harness`: sweep points
 fan out over a worker pool, results are cached by content hash, timings
 land in ``BENCH_experiments.json``, and ``regress`` gates reproduced
-quantities against the checked-in ``goldens/``.
+quantities against the checked-in ``goldens/``.  ``trace`` goes through
+:mod:`repro.obs`: it re-runs one experiment under a recorder and emits
+a Chrome-trace timeline, a miss-attribution table, or counter metrics.
 """
 
 from __future__ import annotations
@@ -75,6 +80,7 @@ def _figure1(args: argparse.Namespace) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Parser for the serial one-experiment form."""
     parser = argparse.ArgumentParser(
         prog="ldlp-experiment",
         description=(
@@ -99,14 +105,22 @@ def build_parser() -> argparse.ArgumentParser:
 #: Subcommands dispatched to the parallel harness CLI (repro.harness.cli).
 HARNESS_COMMANDS = ("run", "regress")
 
+#: Subcommand dispatched to the tracing CLI (repro.obs.cli).
+TRACE_COMMAND = "trace"
+
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry: dispatch harness/trace subcommands or run serially."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] in HARNESS_COMMANDS:
         from ..harness.cli import main as harness_main
 
         return harness_main(argv)
+    if argv and argv[0] == TRACE_COMMAND:
+        from ..obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for index, name in enumerate(names):

@@ -22,9 +22,17 @@ DEFAULT_BENCH_PATH = "BENCH_experiments.json"
 
 
 def bench_record(run: ExperimentRun) -> dict:
-    """The BENCH entry for one experiment run."""
+    """The BENCH entry for one experiment run.
+
+    ``counters`` carries the aggregated :mod:`repro.obs` totals for the
+    experiment's sweep (cache misses, mbuf traffic, batching), rounded
+    so the file diffs cleanly between blessings.
+    """
     slowest_key = max(run.point_elapsed, key=run.point_elapsed.__getitem__)
     return {
+        "counters": {
+            name: round(value, 4) for name, value in sorted(run.counters.items())
+        },
         "scale": run.scale,
         "jobs": run.jobs,
         "points": len(run.points),

@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from importlib import import_module
 from pathlib import Path
 from typing import Any
@@ -88,10 +88,16 @@ def content_key(point: SweepPoint, sources: tuple[str, ...]) -> str:
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One stored point result plus the time it originally took."""
+    """One stored point result plus the time it originally took.
+
+    ``counters`` holds the obs counter totals recorded when the point
+    was first computed; entries written before the obs layer existed
+    deserialize with an empty dict.
+    """
 
     result: Any
     elapsed_s: float
+    counters: dict[str, float] = field(default_factory=dict)
 
 
 class ResultCache:
@@ -123,7 +129,11 @@ class ResultCache:
             return None
         if data.get("key") != key:  # prefix collision or stale file
             return None
-        return CacheEntry(result=data["result"], elapsed_s=float(data["elapsed_s"]))
+        return CacheEntry(
+            result=data["result"],
+            elapsed_s=float(data["elapsed_s"]),
+            counters=dict(data.get("counters", {})),
+        )
 
     def store(
         self,
@@ -132,6 +142,7 @@ class ResultCache:
         point: SweepPoint,
         result: Any,
         elapsed_s: float,
+        counters: dict[str, float] | None = None,
     ) -> None:
         """Persist one computed point result atomically."""
         if not self.enabled:
@@ -145,6 +156,7 @@ class ResultCache:
             "params": point.params,
             "result": result,
             "elapsed_s": elapsed_s,
+            "counters": counters or {},
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))

@@ -29,6 +29,7 @@ from .runner import ExperimentRun, run_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``run``/``regress`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="ldlp-experiment",
         description="Parallel experiment harness with result cache and goldens.",
@@ -114,6 +115,7 @@ def _finish(args: argparse.Namespace, runs: list[ExperimentRun]) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """``run``: execute sweeps, render tables, write BENCH."""
     runs = _run_all(args)
     for run in runs:
         spec = get_spec(run.name)
@@ -129,6 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_regress(args: argparse.Namespace) -> int:
+    """``regress``: execute sweeps and gate quantities against goldens."""
     runs = _run_all(args)
     print()
     failures = 0
@@ -170,6 +173,7 @@ def cmd_regress(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry: dispatch to :func:`cmd_run` or :func:`cmd_regress`."""
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)

@@ -39,6 +39,7 @@ class GoldenBreach:
     tolerance: Tolerance
 
     def describe(self) -> str:
+        """One gate-failure line naming the quantity and its drift."""
         return (
             f"{self.experiment}.{self.quantity}: got {self.got:g}, "
             f"golden {self.want:g} "

@@ -74,6 +74,7 @@ class Tolerance:
     abs: float = 0.0
 
     def allows(self, want: float, got: float) -> bool:
+        """True when ``got`` is within this tolerance of ``want``."""
         return abs(got - want) <= max(self.abs, self.rel * abs(want))
 
 
@@ -112,6 +113,7 @@ class SweepSpec:
     assemble: Callable[[list[SweepPoint], dict[str, Any]], Any] | None = None
 
     def points_for(self, scale: str) -> list[SweepPoint]:
+        """Build the sweep points for one scale, checking key uniqueness."""
         if scale not in SCALES:
             raise ConfigurationError(
                 f"unknown scale {scale!r}; expected one of {SCALES}"
@@ -130,4 +132,5 @@ class SweepSpec:
         return built
 
     def tolerance_for(self, quantity: str) -> Tolerance:
+        """The per-quantity tolerance, falling back to the default."""
         return self.tolerances.get(quantity, self.default_tolerance)

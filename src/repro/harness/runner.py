@@ -8,6 +8,14 @@ order*, so the serialized results of a run are byte-identical at any
 worker count.  Every point is timed; the per-experiment timing summary
 (wall clock, estimated serial time, speedup, cache hit rate) feeds
 ``BENCH_experiments.json``.
+
+Every point additionally executes under a metrics-only
+:class:`repro.obs.runtime.Recorder` (``keep_spans=False``), so the
+instrumented hot paths contribute counter totals — cache misses, mbuf
+traffic, scheduler batching — without retaining per-span memory.  The
+counters are plain ``dict[str, float]`` so they pickle through the
+worker pool, are cached alongside each point result, and aggregate
+into :attr:`ExperimentRun.counters` for ``BENCH_experiments.json``.
 """
 
 from __future__ import annotations
@@ -18,15 +26,29 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import ConfigurationError
+from ..obs.runtime import Recorder, recording
 from .cache import ResultCache, canonical_json, content_key
 from .points import SweepPoint, SweepSpec
 
 
-def _execute_point(point: SweepPoint) -> tuple[str, Any, float]:
-    """Worker entry: run one point, returning (key, result, seconds)."""
+def _execute_point(point: SweepPoint) -> tuple[str, Any, float, dict[str, float]]:
+    """Worker entry: run one point → (key, result, seconds, counters).
+
+    Runs the point under a metrics-only recorder; the obs layer never
+    perturbs model state, so results are identical with or without it.
+    """
     start = time.perf_counter()
-    result = point.execute()
-    return point.key, result, time.perf_counter() - start
+    recorder = Recorder(keep_spans=False)
+    with recording(recorder):
+        result = point.execute()
+    counters = recorder.counters.as_dict()
+    return point.key, result, time.perf_counter() - start, counters
+
+
+def merge_counters(totals: dict[str, float], extra: dict[str, float]) -> None:
+    """Accumulate one point's counter dict into a running total."""
+    for name, value in extra.items():
+        totals[name] = totals.get(name, 0.0) + value
 
 
 @dataclass
@@ -42,9 +64,13 @@ class ExperimentRun:
     computed: int
     wall_s: float
     point_elapsed: dict[str, float] = field(default_factory=dict)
+    #: Aggregated obs counter totals over every point (cached points
+    #: contribute the counters recorded when first computed).
+    counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of points served from the result cache."""
         total = len(self.points)
         return self.cache_hits / total if total else 0.0
 
@@ -68,9 +94,11 @@ class ExperimentRun:
         return canonical_json(self.results)
 
     def quantities(self, spec: SweepSpec) -> dict[str, float]:
+        """The experiment's named golden quantities from this run."""
         return spec.quantities(self.points, self.results)
 
     def timing_summary(self) -> str:
+        """One line of run timings (points, cache hits, wall, speedup)."""
         return (
             f"{self.name}: {len(self.points)} points, "
             f"{self.cache_hits} cached ({100 * self.hit_rate:.0f}%), "
@@ -100,6 +128,7 @@ def run_experiment(
     keys = {point.key: content_key(point, spec.sources) for point in points}
     results: dict[str, Any] = {}
     elapsed: dict[str, float] = {}
+    counters: dict[str, float] = {}
     pending: list[SweepPoint] = []
     for point in points:
         entry = cache.lookup(spec.name, keys[point.key])
@@ -108,6 +137,7 @@ def run_experiment(
         else:
             results[point.key] = entry.result
             elapsed[point.key] = entry.elapsed_s
+            merge_counters(counters, entry.counters)
     cache_hits = len(points) - len(pending)
 
     if pending:
@@ -116,10 +146,13 @@ def run_experiment(
         else:
             with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
                 computed = pool.map(_execute_point, pending)
-        for point, (key, result, seconds) in zip(pending, computed):
+        for point, (key, result, seconds, point_counters) in zip(pending, computed):
             results[point.key] = result
             elapsed[point.key] = seconds
-            cache.store(spec.name, keys[point.key], point, result, seconds)
+            merge_counters(counters, point_counters)
+            cache.store(
+                spec.name, keys[point.key], point, result, seconds, point_counters
+            )
 
     # Re-key in declared order so serialization ignores completion order.
     ordered = {point.key: results[point.key] for point in points}
@@ -133,4 +166,5 @@ def run_experiment(
         computed=len(pending),
         wall_s=time.perf_counter() - start,
         point_elapsed={point.key: elapsed[point.key] for point in points},
+        counters={name: counters[name] for name in sorted(counters)},
     )

@@ -57,11 +57,13 @@ class CPU:
         return int(missed.size)
 
     def read_data_span(self, addr: int, size: int) -> int:
+        """Read a byte span; returns missed lines (stalls charged)."""
         missed = self.hierarchy.dcache.access_span_report(addr, size)  # type: ignore[attr-defined]
         self._stall_for(missed)
         return int(missed.size)
 
     def read_data_lines(self, lines: np.ndarray) -> int:
+        """Read whole lines; returns missed lines (stalls charged)."""
         missed = self.hierarchy.dcache.access_line_array_report(lines)  # type: ignore[attr-defined]
         self._stall_for(missed)
         return int(missed.size)
@@ -104,8 +106,10 @@ class CPU:
 
     @property
     def icache_misses(self) -> int:
+        """Cumulative instruction-cache misses since the last reset."""
         return self.hierarchy.icache.stats.misses
 
     @property
     def dcache_misses(self) -> int:
+        """Cumulative data-cache misses since the last reset."""
         return self.hierarchy.dcache.stats.misses

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError, LayoutError
+from ..obs.runtime import active_recorder, machine_counters
 from .cpu import CPU
 from .layout import MemoryLayout
 from .program import Region, RegionKind
@@ -100,10 +101,12 @@ class MessageBuffer:
 
     @property
     def base(self) -> int:
+        """Base byte address of the placed buffer."""
         return self.region.require_base()
 
     @property
     def capacity(self) -> int:
+        """Buffer size in bytes (the largest message it can hold)."""
         return self.region.size
 
     def lines_for(self, size: int) -> np.ndarray:
@@ -175,7 +178,23 @@ class FootprintExecutor:
         message_bytes: int,
         queue_overhead: bool = False,
     ) -> float:
-        """Process one message at one layer; return cycles consumed."""
+        """Process one message at one layer; return cycles consumed.
+
+        Recorded as a span on the layer's track (CPU-cycle clock) when
+        a :mod:`repro.obs` recorder is installed.
+        """
+        recorder = active_recorder()
+        handle = (
+            recorder.begin(
+                layer.name,
+                "run_layer",
+                self.cpu.cycles,
+                machine_counters(self.cpu),
+                message_bytes=message_bytes,
+            )
+            if recorder is not None
+            else None
+        )
         start = self.cpu.cycles
         self.cpu.fetch_code_lines(layer.code_lines)
         if layer.data_lines.size:
@@ -186,4 +205,6 @@ class FootprintExecutor:
         self.cpu.execute(layer.profile.compute_cycles(message_bytes))
         if queue_overhead:
             self.cpu.execute(self.QUEUE_INSTRUCTIONS)
+        if recorder is not None and handle is not None:
+            recorder.end(handle, self.cpu.cycles)
         return self.cpu.cycles - start

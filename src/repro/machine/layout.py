@@ -133,9 +133,11 @@ class MemoryLayout:
         )
 
     def place_all_sequential(self, regions: list[Region]) -> None:
+        """Place every region back to back, in order."""
         for region in regions:
             self.place_sequential(region)
 
     def place_all_random(self, regions: list[Region]) -> None:
+        """Place every region at an independent random base."""
         for region in regions:
             self.place_random(region)

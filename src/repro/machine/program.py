@@ -18,6 +18,8 @@ from ..errors import LayoutError
 
 
 class RegionKind(enum.Enum):
+    """Whether a region holds code (I-cache) or data (D-cache)."""
+
     CODE = "code"
     DATA = "data"
 
@@ -49,6 +51,7 @@ class Region:
 
     @property
     def placed(self) -> bool:
+        """True once the layout has assigned a base address."""
         return self.base is not None
 
     def require_base(self) -> int:
@@ -63,6 +66,7 @@ class Region:
         return self.require_base() + self.size
 
     def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls inside this placed region."""
         base = self.require_base()
         return base <= addr < base + self.size
 
@@ -92,30 +96,37 @@ class Program:
     regions: list[Region] = field(default_factory=list)
 
     def add(self, region: Region) -> Region:
+        """Register a region; names must be unique within the program."""
         if any(existing.name == region.name for existing in self.regions):
             raise LayoutError(f"duplicate region name {region.name!r}")
         self.regions.append(region)
         return region
 
     def add_code(self, name: str, size: int) -> Region:
+        """Shorthand: add a code region."""
         return self.add(Region(name, size, RegionKind.CODE))
 
     def add_data(self, name: str, size: int) -> Region:
+        """Shorthand: add a data region."""
         return self.add(Region(name, size, RegionKind.DATA))
 
     def region(self, name: str) -> Region:
+        """Look a region up by name, raising when absent."""
         for region in self.regions:
             if region.name == name:
                 return region
         raise LayoutError(f"no region named {name!r}")
 
     def code_regions(self) -> list[Region]:
+        """All code regions, in insertion order."""
         return [region for region in self.regions if region.kind is RegionKind.CODE]
 
     def data_regions(self) -> list[Region]:
+        """All data regions, in insertion order."""
         return [region for region in self.regions if region.kind is RegionKind.DATA]
 
     def total_size(self, kind: RegionKind | None = None) -> int:
+        """Total bytes across regions, optionally of one kind."""
         return sum(
             region.size
             for region in self.regions

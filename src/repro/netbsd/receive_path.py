@@ -30,6 +30,7 @@ import numpy as np
 
 from ..cache.workingset import WorkingSetAnalyzer
 from ..errors import ConfigurationError
+from ..obs.runtime import active_recorder
 from ..trace.buffer import TraceBuffer
 from ..trace.classify import LayerClassifier
 from ..trace.record import MemRef, RefKind
@@ -454,7 +455,14 @@ class ReceivePathModel:
     # Trace generation
 
     def build_trace(self) -> TraceBuffer:
-        """Generate the full three-phase receive-&-acknowledge trace."""
+        """Generate the full three-phase receive-&-acknowledge trace.
+
+        With a :mod:`repro.obs` recorder installed, each phase is a
+        span on the ``trace-gen`` track whose clock is the reference
+        index (trace generation has no cycle clock of its own; the
+        miss-attribution replay supplies modelled cycles later).
+        """
+        recorder = active_recorder()
         trace = TraceBuffer()
         # Cumulative fraction of each (layer, mutable) data budget
         # emitted so far; by the last phase every layer reaches 1.0, so
@@ -462,7 +470,16 @@ class ReceivePathModel:
         data_cum: dict[str, float] = {}
         for phase in PHASES:
             trace.mark_phase(phase)
+            handle = (
+                recorder.begin("trace-gen", phase, float(len(trace.refs)))
+                if recorder is not None
+                else None
+            )
             self._emit_phase(trace, phase, data_cum)
+            if recorder is not None and handle is not None:
+                handle.args["refs"] = len(trace.refs) - int(handle.start)
+                recorder.end(handle, float(len(trace.refs)))
+                recorder.count("trace.refs", float(len(trace.refs)) - handle.start)
         return trace
 
     def _emit_phase(

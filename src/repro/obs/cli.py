@@ -1,0 +1,161 @@
+"""``ldlp-experiment trace`` — emit traces, tables, or metrics.
+
+Usage::
+
+    ldlp-experiment trace figure6 --sink chrome --out figure6.trace.json
+    ldlp-experiment trace figure6 --sink table
+    ldlp-experiment trace receive --sink chrome --out receive.trace.json
+    ldlp-experiment trace receive --sink table       # live miss attribution
+    ldlp-experiment trace figure5 --sink metrics
+
+Simulator experiments (``figure5``/``figure6``/``figure7``) trace one
+representative operating point of the Section-4 benchmark — every
+configured scheduler against the identical arrival sequence — with one
+Chrome-trace track per layer.  ``receive`` (aliases ``table1``,
+``figure1``) traces the NetBSD receive-&-acknowledge path: phase and
+per-function spans plus the live miss-attribution table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .attribution import render_live_table1, replay_receive_path
+from .runtime import Recorder, recording
+from .schema import validate_chrome_trace
+from .sinks import MetricsSink, TableSink
+from .tracing import (
+    chrome_trace_for_receive,
+    chrome_trace_for_sim,
+    trace_schedulers,
+)
+
+#: Experiments the trace command understands.  Simulator figures share
+#: one implementation; the receive path has aliases for the experiments
+#: derived from its trace.
+SIM_EXPERIMENTS = ("figure5", "figure6", "figure7")
+RECEIVE_ALIASES = ("receive", "table1", "figure1")
+
+SINKS = ("chrome", "table", "metrics")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``trace`` argument parser (also used by ``--help`` docs)."""
+    parser = argparse.ArgumentParser(
+        prog="ldlp-experiment trace",
+        description="Emit a structured trace of one experiment run.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=SIM_EXPERIMENTS + RECEIVE_ALIASES,
+        help="what to trace (simulator figure or the receive path)",
+    )
+    parser.add_argument(
+        "--sink", choices=SINKS, default="chrome",
+        help="output form: chrome trace JSON, text table, or metrics JSON",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default: <experiment>.trace.json for chrome, stdout otherwise)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="placement/traffic seed")
+    parser.add_argument(
+        "--rate", type=float, default=9000.0,
+        help="arrival rate for simulator traces (msgs/s, default 9000)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=0.02,
+        help="simulated seconds for simulator traces (default 0.02)",
+    )
+    parser.add_argument(
+        "--scheduler", action="append", default=None,
+        metavar="NAME",
+        help="scheduler(s) to trace (repeatable; default: conventional and ldlp)",
+    )
+    return parser
+
+
+def _emit_text(text: str, out: str | None) -> None:
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _trace_sim(args: argparse.Namespace) -> int:
+    schedulers = tuple(args.scheduler) if args.scheduler else ("conventional", "ldlp")
+    runs = trace_schedulers(
+        schedulers=schedulers,
+        rate=args.rate,
+        seed=args.seed,
+        duration=args.duration,
+    )
+    if args.sink == "chrome":
+        sink = chrome_trace_for_sim(runs)
+        payload = sink.to_payload()
+        summary = validate_chrome_trace(payload)
+        out = args.out or f"{args.experiment}.trace.json"
+        path = sink.write(out)
+        print(
+            f"wrote {path}: {summary['spans']} spans on {summary['tracks']} "
+            f"tracks across {summary['processes']} process(es) "
+            f"(load into chrome://tracing or https://ui.perfetto.dev)"
+        )
+        return 0
+    if args.sink == "table":
+        tables = [
+            TableSink(run.recorder, title=f"{args.experiment} · {run.name}").render()
+            for run in runs
+        ]
+        _emit_text("\n\n".join(tables), args.out)
+        return 0
+    payload = {
+        run.name: MetricsSink(run.recorder).to_payload() for run in runs
+    }
+    _emit_text(json.dumps(payload, indent=1, sort_keys=True), args.out)
+    return 0
+
+
+def _trace_receive(args: argparse.Namespace) -> int:
+    if args.sink == "chrome":
+        sink, attribution = chrome_trace_for_receive(seed=args.seed)
+        payload = sink.to_payload()
+        summary = validate_chrome_trace(payload)
+        out = args.out or "receive.trace.json"
+        path = sink.write(out)
+        print(
+            f"wrote {path}: {summary['spans']} spans on {summary['tracks']} "
+            f"tracks, {attribution.cycles} modelled cycles"
+        )
+        return 0
+    if args.sink == "table":
+        recorder = Recorder(keep_spans=False)
+        with recording(recorder):
+            attribution = replay_receive_path(seed=args.seed, recorder=recorder)
+        text = attribution.render() + "\n\n" + render_live_table1(attribution)
+        _emit_text(text, args.out)
+        return 0
+    recorder = Recorder(keep_spans=False)
+    with recording(recorder):
+        replay_receive_path(seed=args.seed, recorder=recorder)
+    _emit_text(
+        json.dumps(MetricsSink(recorder).to_payload(), indent=1, sort_keys=True),
+        args.out,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``ldlp-experiment trace`` / ``python -m repro.obs.cli``."""
+    args = build_parser().parse_args(argv)
+    if args.experiment in SIM_EXPERIMENTS:
+        return _trace_sim(args)
+    return _trace_receive(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ class EventQueue:
         return sum(1 for event in self._heap if not event.cancelled)
 
     def push(self, time: float, handler: Handler, payload: Any = None) -> Event:
+        """Schedule a handler at ``time``; returns a cancellable event."""
         if time < 0:
             raise SimulationError(f"cannot schedule at negative time {time}")
         event = Event(time, next(self._counter), handler, payload)
@@ -46,6 +47,7 @@ class EventQueue:
         return event
 
     def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
@@ -53,10 +55,12 @@ class EventQueue:
         raise SimulationError("pop from empty event queue")
 
     def peek_time(self) -> float | None:
+        """Time of the next live event, or None when the queue is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
     @staticmethod
     def cancel(event: Event) -> None:
+        """Mark an event dead; it will be skipped (and dropped) on pop."""
         event.cancelled = True

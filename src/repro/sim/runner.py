@@ -29,6 +29,7 @@ from ..core.scheduler import (
     Scheduler,
 )
 from ..errors import ConfigurationError
+from ..obs.runtime import active_recorder, machine_counters
 from ..traffic.base import Arrival, TrafficSource
 from ..traffic.poisson import PoissonSource
 from .stats import (
@@ -87,6 +88,7 @@ class SimulationConfig:
             raise ConfigurationError("duration must be positive")
 
     def with_scheduler(self, scheduler: str) -> "SimulationConfig":
+        """This config with only the scheduler swapped."""
         return replace(self, scheduler=scheduler)
 
 
@@ -140,10 +142,17 @@ def drive(
     stack — the synthetic five-layer benchmark, the byte-level TCP
     stack, or the signalling switch — as long as the scheduler carries
     a :class:`~repro.core.binding.MachineBinding`.
+
+    With a :mod:`repro.obs` recorder installed, every scheduler service
+    step is a span on the ``scheduler`` track and every admission or
+    drop an instant event, all on the CPU-cycle clock; the per-layer
+    spans inside a step come from
+    :meth:`~repro.core.binding.MachineBinding.charge`.
     """
     binding = scheduler.binding
     if binding is None:
         raise ConfigurationError("drive() needs a machine-bound scheduler")
+    recorder = active_recorder()
     cpu = binding.cpu
     clock = cpu.clock
     pending = [
@@ -161,11 +170,35 @@ def drive(
         while index < len(pending) and pending[index][0] <= cpu.cycles:
             cycle, message = pending[index]
             message.meta["arrival_cycle"] = cycle
-            scheduler.enqueue_arrival(message)
+            accepted = scheduler.enqueue_arrival(message)
+            if recorder is not None:
+                recorder.count("messages.arrivals")
+                if not accepted:
+                    recorder.count("messages.drops")
+                    recorder.instant(
+                        "scheduler", "drop", cpu.cycles, size=message.size
+                    )
             index += 1
         if scheduler.busy:
             before = cpu.cycles
-            for completion in scheduler.service_step():
+            handle = (
+                recorder.begin(
+                    "scheduler",
+                    "service_step",
+                    cpu.cycles,
+                    machine_counters(cpu),
+                    pending_messages=scheduler.pending(),
+                )
+                if recorder is not None
+                else None
+            )
+            completions = scheduler.service_step()
+            if recorder is not None and handle is not None:
+                handle.args["completions"] = len(completions)
+                recorder.end(handle, cpu.cycles)
+                recorder.count("scheduler.service_steps")
+                recorder.count("messages.completions", float(len(completions)))
+            for completion in completions:
                 arrival_cycle = completion.message.meta.get("arrival_cycle")
                 if arrival_cycle is None:
                     continue
@@ -295,6 +328,7 @@ class ComparisonResult:
         return base / new
 
     def summary(self) -> str:
+        """Per-scheduler reporting lines plus the LDLP speedup ratio."""
         lines = [result.summary() for result in self.results.values()]
         lines.append(f"LDLP speedup over conventional: {self.speedup():.2f}x")
         return "\n".join(lines)

@@ -16,6 +16,7 @@ class LatencyRecorder:
         self._samples: list[float] = []
 
     def record(self, latency: float) -> None:
+        """Append one latency sample; negative values are a model bug."""
         if latency < 0:
             raise SimulationError(f"negative latency {latency}")
         self._samples.append(latency)
@@ -24,6 +25,7 @@ class LatencyRecorder:
         return len(self._samples)
 
     def summary(self) -> "LatencySummary":
+        """Reduce the samples to a :class:`LatencySummary` (NaNs if empty)."""
         if not self._samples:
             return LatencySummary(0, float("nan"), float("nan"), float("nan"),
                                   float("nan"), float("nan"))
@@ -50,6 +52,7 @@ class LatencySummary:
     maximum: float
 
     def to_dict(self) -> dict:
+        """JSON-serializable form (harness result cache)."""
         return {
             "count": self.count,
             "mean": self.mean,
@@ -61,9 +64,11 @@ class LatencySummary:
 
     @classmethod
     def from_dict(cls, data: dict) -> "LatencySummary":
+        """Inverse of :meth:`to_dict`."""
         return cls(**data)
 
     def format(self) -> str:
+        """Human-readable one-liner with unit-scaled durations."""
         from ..units import format_duration
 
         if self.count == 0:
@@ -84,13 +89,16 @@ class MissesPerMessage:
 
     @property
     def total(self) -> float:
+        """Instruction plus data misses per message."""
         return self.instruction + self.data
 
     def to_dict(self) -> dict:
+        """JSON-serializable form (harness result cache)."""
         return {"instruction": self.instruction, "data": self.data}
 
     @classmethod
     def from_dict(cls, data: dict) -> "MissesPerMessage":
+        """Inverse of :meth:`to_dict`."""
         return cls(**data)
 
 
@@ -122,11 +130,13 @@ class RunResult:
 
     @property
     def drop_fraction(self) -> float:
+        """Fraction of offered messages dropped at the input buffer."""
         if self.offered == 0:
             return 0.0
         return self.dropped / self.offered
 
     def summary(self) -> str:
+        """One reporting line: throughput, drops, latency, misses, batch."""
         return (
             f"{self.scheduler}: rate={self.arrival_rate:.0f}/s "
             f"completed={self.completed}/{self.offered} "
@@ -153,6 +163,7 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict` (rebuilds the nested summaries)."""
         fields = dict(data)
         fields["latency"] = LatencySummary.from_dict(fields["latency"])
         fields["misses"] = MissesPerMessage.from_dict(fields["misses"])
@@ -174,6 +185,7 @@ def merge_results(results: list[RunResult]) -> RunResult:
     weights = weights / weights.sum()
 
     def wavg(getter) -> float:
+        """Weighted average of one field, ignoring non-finite entries."""
         values = np.asarray([getter(r) for r in results], dtype=float)
         finite = np.isfinite(values)
         if not finite.any():
