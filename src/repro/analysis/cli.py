@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="code placement strategy for --stack runs",
     )
     parser.add_argument(
+        "--harness",
+        action="store_true",
+        help=(
+            "check every experiment's sweep-point import closure against "
+            "its declared cache sources (HARN001)"
+        ),
+    )
+    parser.add_argument(
         "--format",
         dest="fmt",
         choices=("text", "json"),
@@ -89,14 +97,25 @@ def run(args: argparse.Namespace) -> tuple[list[Finding], dict[str, object]]:
         analysis = analyze_stack(stack, seed=args.seed, placement=args.placement)
         findings.extend(analysis.findings)
         summaries[f"stack:{analysis.name}"] = analysis.summary
+    if args.harness:
+        from .harnesscheck import check_all_specs
+
+        harness_findings = check_all_specs()
+        findings.extend(harness_findings)
+        summaries["harness"] = {
+            "experiments_checked": True,
+            "undeclared_sources": len(harness_findings),
+        }
     return findings, summaries
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not args.targets and not args.stack:
-        parser.error("nothing to analyze: give source targets and/or --stack")
+    if not args.targets and not args.stack and not args.harness:
+        parser.error(
+            "nothing to analyze: give source targets, --stack, and/or --harness"
+        )
     try:
         findings, summaries = run(args)
     except ReproError as exc:

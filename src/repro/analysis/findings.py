@@ -41,7 +41,8 @@ class Rule:
 
 #: The rule registry.  Ids are grouped by subsystem: LDLP* for cache /
 #: working-set checks, SCHED* for scheduler-configuration checks, MBUF*
-#: for the mbuf-lifecycle linter.
+#: for the mbuf-lifecycle linter, HARN* for harness cache-dependency
+#: checks.
 RULES: dict[str, Rule] = {
     rule.rule_id: rule
     for rule in (
@@ -127,6 +128,16 @@ RULES: dict[str, Rule] = {
             Severity.ERROR,
             "Section 3.2",
             "An mbuf variable is used after being returned to its pool.",
+        ),
+        Rule(
+            "HARN001",
+            "undeclared-cache-source",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "A sweep point function's transitive repro.* import closure "
+            "reaches a module not covered by the experiment's declared "
+            "cache sources; editing that module would not invalidate "
+            "cached results (stale cache hits).",
         ),
         Rule(
             "MBUF003",

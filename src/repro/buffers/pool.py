@@ -10,6 +10,7 @@ their cache lines warm.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import BufferError_ as MbufError
 from ..obs.runtime import active_recorder
@@ -18,12 +19,18 @@ from .mbuf import Mbuf, MbufChain
 
 @dataclass
 class PoolStats:
-    """Allocation counters."""
+    """Allocation counters.
+
+    ``denied`` counts allocations refused by an installed fault gate
+    (see :meth:`MbufPool.set_fault_gate`) — distinct from genuine
+    limit exhaustion, which raises without counting here.
+    """
 
     allocations: int = 0
     frees: int = 0
     recycled: int = 0
     peak_in_use: int = 0
+    denied: int = 0
 
 
 class MbufPool:
@@ -43,6 +50,20 @@ class MbufPool:
         self.stats = PoolStats()
         self._free: list[Mbuf] = []
         self._in_use = 0
+        self._fault_gate: Callable[[int], bool] | None = None
+
+    def set_fault_gate(self, gate: Callable[[int], bool] | None) -> None:
+        """Install (or clear) a deterministic allocation fault gate.
+
+        ``gate(allocation_index)`` is consulted on every :meth:`alloc`
+        with the zero-based index of the *attempted* allocation; when it
+        returns False the pool behaves as if exhausted — the allocation
+        raises :class:`MbufError` and ``stats.denied`` counts it.
+        :mod:`repro.faults` uses count-based gates to carve
+        deterministic exhaustion windows into a run, reproducing
+        "kernel out of mbufs" episodes per seed.
+        """
+        self._fault_gate = gate
 
     @property
     def in_use(self) -> int:
@@ -72,9 +93,19 @@ class MbufPool:
         Bumps the ``mbuf.alloc`` / ``mbuf.recycled`` :mod:`repro.obs`
         counters when a recorder is installed.
         """
+        recorder = active_recorder()
+        if self._fault_gate is not None and not self._fault_gate(
+            self.stats.allocations + self.stats.denied
+        ):
+            self.stats.denied += 1
+            if recorder is not None:
+                recorder.count("mbuf.denied")
+            raise MbufError(
+                f"mbuf pool exhausted (fault window, "
+                f"{self.stats.denied} denied)"
+            )
         if self._in_use >= self.limit:
             raise MbufError(f"mbuf pool exhausted (limit {self.limit})")
-        recorder = active_recorder()
         if recorder is not None:
             recorder.count("mbuf.alloc")
         self.stats.allocations += 1

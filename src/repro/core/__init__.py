@@ -6,6 +6,8 @@
   :class:`LDLPScheduler` — the three scheduling disciplines compared in
   the paper;
 * :class:`BatchPolicy` — "as many messages as fit in the data cache";
+* :class:`DropPolicy` — pluggable input-buffer overload behaviour
+  (tail/head/early drop, adaptive batch backoff);
 * :mod:`repro.core.blocking` — off-line blocked processing and
   blocking-factor estimation;
 * :class:`MachineBinding` — attaches a stack to the simulated machine.
@@ -13,6 +15,15 @@
 
 from .batching import BatchPolicy
 from .binding import BUFFER_KEY, MachineBinding
+from .overload import (
+    DROP_POLICIES,
+    AdaptiveBatchBackoff,
+    DropPolicy,
+    HeadDrop,
+    QueueCap,
+    TailDrop,
+    make_drop_policy,
+)
 from .blocking import (
     BlockingEstimate,
     blocked_schedule,
@@ -41,12 +52,16 @@ from .scheduler import (
 
 __all__ = [
     "BUFFER_KEY",
+    "AdaptiveBatchBackoff",
     "BatchPolicy",
     "BlockingEstimate",
     "Completion",
     "ConventionalScheduler",
+    "DROP_POLICIES",
+    "DropPolicy",
     "GroupedLDLPScheduler",
     "CountingLayer",
+    "HeadDrop",
     "ILPScheduler",
     "LDLPScheduler",
     "Layer",
@@ -54,8 +69,11 @@ __all__ = [
     "MachineBinding",
     "Message",
     "PassthroughLayer",
+    "QueueCap",
     "Scheduler",
     "SinkLayer",
+    "TailDrop",
+    "make_drop_policy",
     "blocked_schedule",
     "conventional_schedule",
     "estimate_block_cost",

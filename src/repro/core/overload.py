@@ -1,0 +1,212 @@
+"""Pluggable scheduler overload behaviour: drop policies.
+
+The paper buffers 500 packets and tail-drops beyond that — one point in
+a whole design space of overload behaviours.  A :class:`DropPolicy`
+makes that axis pluggable: it decides *which* message loses when the
+input buffer is contended (admission) and *how large* an LDLP batch may
+grow given the current buffer occupancy (batch modulation).  All
+policies are deterministic — no RNG — so simulation results stay
+byte-identical for a fixed arrival sequence.
+
+The registry in :data:`DROP_POLICIES` names the four shipped policies:
+
+``tail``
+    Classic tail drop (the paper's behaviour, and the default): reject
+    the newest arrival when the buffer is full.
+``head``
+    Drop-from-front: evict the *oldest* queued message to admit the new
+    one.  Under sustained overload the queue holds the freshest work,
+    which bounds the staleness (and hence latency) of what completes.
+``batch-cap``
+    Early drop at a queue-depth cap below the physical buffer: bounds
+    worst-case queueing delay to roughly ``cap / batch`` service steps,
+    trading extra drops for a tighter latency tail.
+``adaptive``
+    LDLP batch-size backoff: admission is tail-drop, but the batch cap
+    scales with buffer occupancy — a lightly loaded queue is served in
+    small batches (low per-message latency), a deep queue gets the full
+    cache-fit batch (maximum drain rate).  This is the "as many
+    available messages as will fit in the data cache" rule made
+    pressure-sensitive.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+
+
+class DropPolicy(ABC):
+    """How a scheduler behaves when its input buffer is contended.
+
+    Two independent hooks:
+
+    * :meth:`admit` — called once per arrival with the live input queue;
+      decides whether the new message enters and which queued messages
+      (if any) are evicted to make room;
+    * :meth:`batch_limit` — called by the batching schedulers (LDLP and
+      grouped LDLP) at the start of each service step; may shrink the
+      cache-derived batch cap based on buffer occupancy.
+
+    Policies must be deterministic functions of their arguments and
+    construction parameters; they may keep counters but must not draw
+    randomness, or runs stop being reproducible per seed.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    @abstractmethod
+    def admit(
+        self, queue: deque, capacity: int
+    ) -> tuple[bool, list]:
+        """Decide one admission.
+
+        Parameters
+        ----------
+        queue:
+            The live input queue (the policy may evict from it).
+        capacity:
+            The configured buffer limit in messages.
+
+        Returns
+        -------
+        (accepted, evicted):
+            ``accepted`` — whether the *new* message may be appended;
+            ``evicted`` — queued messages the policy removed to make
+            room (each counts as a drop).
+        """
+
+    def batch_limit(self, base: int, queue_len: int, capacity: int) -> int:
+        """The effective batch cap for one service step.
+
+        ``base`` is the cache-fit cap from
+        :class:`~repro.core.batching.BatchPolicy`; the default keeps it.
+        """
+        return base
+
+    def describe(self) -> dict[str, Any]:
+        """Static description for ``describe_config`` / analysis."""
+        return {"policy": self.name}
+
+
+class TailDrop(DropPolicy):
+    """Reject the newest arrival when the buffer is full (the default)."""
+
+    name = "tail"
+
+    def admit(self, queue: deque, capacity: int) -> tuple[bool, list]:
+        """Accept while there is room; never evict."""
+        if len(queue) >= capacity:
+            return False, []
+        return True, []
+
+
+class HeadDrop(DropPolicy):
+    """Evict the oldest queued message to admit the newest.
+
+    Keeps the buffer full of *fresh* work under overload: what completes
+    was queued recently, so completion latency stays bounded while the
+    drop rate absorbs the excess — the latency/loss trade taken by
+    drop-from-front AQM variants.
+    """
+
+    name = "head"
+
+    def admit(self, queue: deque, capacity: int) -> tuple[bool, list]:
+        """Always accept; evict from the front when full."""
+        evicted = []
+        while len(queue) >= capacity:
+            evicted.append(queue.popleft())
+        return True, evicted
+
+
+class QueueCap(DropPolicy):
+    """Early tail drop at a fixed depth below the physical buffer.
+
+    Parameters
+    ----------
+    cap:
+        Maximum queue depth admitted, in messages.  With the paper's
+        14-message LDLP batch, ``cap=56`` bounds queueing delay to
+        about four full batches regardless of the 500-packet buffer.
+    """
+
+    name = "batch-cap"
+
+    def __init__(self, cap: int = 56) -> None:
+        if cap <= 0:
+            raise ConfigurationError(f"queue cap must be positive: {cap}")
+        self.cap = cap
+
+    def admit(self, queue: deque, capacity: int) -> tuple[bool, list]:
+        """Accept while below ``min(cap, capacity)``; never evict."""
+        if len(queue) >= min(self.cap, capacity):
+            return False, []
+        return True, []
+
+    def describe(self) -> dict[str, Any]:
+        """Policy name plus the configured cap."""
+        return {"policy": self.name, "cap": self.cap}
+
+
+class AdaptiveBatchBackoff(DropPolicy):
+    """Tail-drop admission with occupancy-scaled LDLP batches.
+
+    The effective batch cap is ``base * queue_len / capacity`` (at least
+    ``min_batch``, at most ``base``): near-empty buffers are served a
+    message or two at a time — minimum latency, exactly the paper's
+    light-load behaviour — and the cap backs off toward the full
+    cache-fit batch only as the buffer fills and throughput starts to
+    matter more than per-message delay.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, min_batch: int = 1) -> None:
+        if min_batch <= 0:
+            raise ConfigurationError(
+                f"minimum batch must be positive: {min_batch}"
+            )
+        self.min_batch = min_batch
+
+    def admit(self, queue: deque, capacity: int) -> tuple[bool, list]:
+        """Tail-drop admission (reject the newest when full)."""
+        if len(queue) >= capacity:
+            return False, []
+        return True, []
+
+    def batch_limit(self, base: int, queue_len: int, capacity: int) -> int:
+        """Scale the cap with occupancy: empty → ``min_batch``, full → ``base``."""
+        if capacity <= 0:
+            return base
+        scaled = -(-base * queue_len // capacity)  # ceil division
+        return max(self.min_batch, min(base, scaled))
+
+    def describe(self) -> dict[str, Any]:
+        """Policy name plus the floor batch size."""
+        return {"policy": self.name, "min_batch": self.min_batch}
+
+
+#: Name → zero/default-argument factory for every shipped policy.
+DROP_POLICIES: dict[str, Callable[[], DropPolicy]] = {
+    "tail": TailDrop,
+    "head": HeadDrop,
+    "batch-cap": QueueCap,
+    "adaptive": AdaptiveBatchBackoff,
+}
+
+
+def make_drop_policy(name: str, **params: Any) -> DropPolicy:
+    """Build a registered policy by name (``params`` forwarded verbatim)."""
+    try:
+        factory = DROP_POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown drop policy {name!r}; expected one of "
+            f"{', '.join(sorted(DROP_POLICIES))}"
+        ) from None
+    return factory(**params)

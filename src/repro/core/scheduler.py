@@ -28,6 +28,7 @@ from ..obs.runtime import active_recorder
 from .batching import BatchPolicy
 from .binding import MachineBinding
 from .layer import Layer, Message
+from .overload import DropPolicy, TailDrop
 
 
 @dataclass(frozen=True)
@@ -150,6 +151,10 @@ class Scheduler(ABC):
     input_limit:
         Input buffer capacity in messages; arrivals beyond it are
         dropped (the paper's simulations buffer 500 packets).
+    drop_policy:
+        Overload behaviour at the input buffer (see
+        :mod:`repro.core.overload`); ``None`` means classic tail drop,
+        the paper's behaviour.
     """
 
     #: Whether layer boundaries go through queues (charged 40 instrs).
@@ -160,6 +165,8 @@ class Scheduler(ABC):
         layers: list[Layer],
         binding: MachineBinding | None = None,
         input_limit: int = 500,
+        *,
+        drop_policy: DropPolicy | None = None,
     ) -> None:
         if not layers:
             raise SchedulerError("a scheduler needs at least one layer")
@@ -171,6 +178,7 @@ class Scheduler(ABC):
         if binding is not None and not binding.bound:
             binding.bind(layers)
         self.input_limit = input_limit
+        self.drop_policy = drop_policy if drop_policy is not None else TailDrop()
         self.input_queue: deque[Message] = deque()
         self.drops = 0
         self.arrivals = 0
@@ -179,9 +187,21 @@ class Scheduler(ABC):
     # Input side
 
     def enqueue_arrival(self, message: Message) -> bool:
-        """Offer an arriving message; returns False if it was dropped."""
+        """Offer an arriving message; returns False if *it* was dropped.
+
+        The drop policy decides who loses under contention: tail drop
+        rejects ``message`` itself, head drop evicts older queued
+        messages instead.  Either way every lost message counts once in
+        :attr:`drops`, so ``arrivals == completions + drops + queued``
+        holds at all times (the conservation invariant the fault
+        campaigns pin).
+        """
         self.arrivals += 1
-        if len(self.input_queue) >= self.input_limit:
+        accepted, evicted = self.drop_policy.admit(
+            self.input_queue, self.input_limit
+        )
+        self.drops += len(evicted)
+        if not accepted:
             self.drops += 1
             return False
         self.input_queue.append(message)
@@ -208,6 +228,7 @@ class Scheduler(ABC):
             "scheduler": type(self).__name__,
             "uses_queues": self.uses_queues,
             "input_limit": self.input_limit,
+            "drop_policy": self.drop_policy.describe(),
             "layers": [layer.describe_footprint() for layer in self.layers],
         }
 
@@ -352,8 +373,10 @@ class LDLPScheduler(Scheduler):
         binding: MachineBinding | None = None,
         input_limit: int = 500,
         batch_policy: BatchPolicy | None = None,
+        *,
+        drop_policy: DropPolicy | None = None,
     ) -> None:
-        super().__init__(layers, binding, input_limit)
+        super().__init__(layers, binding, input_limit, drop_policy=drop_policy)
         if batch_policy is None:
             if binding is not None:
                 batch_policy = BatchPolicy.from_machine(binding.spec)
@@ -378,8 +401,11 @@ class LDLPScheduler(Scheduler):
         """Drain up to one batch through the stack layer by layer."""
         if not self.input_queue:
             return []
+        limit = self.drop_policy.batch_limit(
+            self.batch_limit, len(self.input_queue), self.input_limit
+        )
         batch = 0
-        while self.input_queue and batch < self.batch_limit:
+        while self.input_queue and batch < limit:
             self._queues[0].append(self.input_queue.popleft())
             batch += 1
         self.batch_sizes.append(batch)
@@ -444,8 +470,10 @@ class GroupedLDLPScheduler(Scheduler):
         input_limit: int = 500,
         batch_policy: BatchPolicy | None = None,
         groups: list[list[int]] | None = None,
+        *,
+        drop_policy: DropPolicy | None = None,
     ) -> None:
-        super().__init__(layers, binding, input_limit)
+        super().__init__(layers, binding, input_limit, drop_policy=drop_policy)
         if batch_policy is None:
             if binding is not None:
                 batch_policy = BatchPolicy.from_machine(binding.spec)
@@ -495,8 +523,11 @@ class GroupedLDLPScheduler(Scheduler):
         """Drain up to one batch through the stack group by group."""
         if not self.input_queue:
             return []
+        limit = self.drop_policy.batch_limit(
+            self.batch_limit, len(self.input_queue), self.input_limit
+        )
         batch = 0
-        while self.input_queue and batch < self.batch_limit:
+        while self.input_queue and batch < limit:
             self._group_queues[0].append(self.input_queue.popleft())
             batch += 1
         self.batch_sizes.append(batch)

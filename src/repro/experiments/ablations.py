@@ -350,6 +350,14 @@ SWEEP = SweepSpec(
         "repro.machine",
         "repro.traffic",
         "repro.buffers",
+        "repro.netbsd",
+        "repro.trace",
+        "repro.obs.runtime",
+        "repro.errors",
+        "repro.units",
+        "repro.experiments.ablations",
+        "repro.experiments.report",
+        "repro.harness.points",
     ),
     default_tolerance=Tolerance(rel=0.15),
     tolerances={

@@ -14,6 +14,9 @@ Usage::
     ldlp-experiment trace figure6 --sink chrome   # Perfetto timeline
     ldlp-experiment trace receive --sink table    # live miss attribution
 
+    ldlp-experiment faults degradation --jobs 4   # fault campaign sweep
+    ldlp-experiment faults injectors              # survival matrix
+
 The first form runs one experiment serially and prints its table.  The
 ``run``/``regress`` forms go through :mod:`repro.harness`: sweep points
 fan out over a worker pool, results are cached by content hash, timings
@@ -67,8 +70,8 @@ def _analyze(args: argparse.Namespace) -> None:
     from ..analysis.cli import main as analysis_main
 
     analysis_main(
-        ["--stack", "synthetic", "--stack", "netbsd", "--seed", str(args.seed),
-         "--fail-on", "never"]
+        ["--stack", "synthetic", "--stack", "netbsd", "--harness",
+         "--seed", str(args.seed), "--fail-on", "never"]
     )
 
 
@@ -108,6 +111,9 @@ HARNESS_COMMANDS = ("run", "regress")
 #: Subcommand dispatched to the tracing CLI (repro.obs.cli).
 TRACE_COMMAND = "trace"
 
+#: Subcommand dispatched to the fault-campaign CLI (repro.faults.cli).
+FAULTS_COMMAND = "faults"
+
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry: dispatch harness/trace subcommands or run serially."""
@@ -121,6 +127,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == FAULTS_COMMAND:
+        from ..faults.cli import main as faults_main
+
+        return faults_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for index, name in enumerate(names):

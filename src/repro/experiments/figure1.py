@@ -172,7 +172,21 @@ SWEEP = SweepSpec(
     name="figure1",
     points=sweep_points,
     quantities=golden_quantities,
-    sources=("repro.netbsd", "repro.trace"),
+    sources=(
+        "repro.netbsd",
+        "repro.trace",
+        "repro.cache",
+        "repro.core",
+        "repro.machine",
+        "repro.sim",
+        "repro.traffic",
+        "repro.obs.runtime",
+        "repro.errors",
+        "repro.units",
+        "repro.experiments.figure1",
+        "repro.experiments.report",
+        "repro.harness.points",
+    ),
 )
 
 

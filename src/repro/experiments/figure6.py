@@ -169,6 +169,9 @@ SWEEP = SweepSpec(
         "repro.machine",
         "repro.traffic",
         "repro.buffers",
+        "repro.obs.runtime",
+        "repro.errors",
+        "repro.units",
     ),
     default_tolerance=Tolerance(rel=0.25),
     tolerances={

@@ -231,6 +231,12 @@ SWEEP = SweepSpec(
         "repro.machine",
         "repro.traffic",
         "repro.buffers",
+        "repro.obs.runtime",
+        "repro.errors",
+        "repro.units",
+        "repro.experiments.figure7",
+        "repro.experiments.report",
+        "repro.harness.points",
     ),
     default_tolerance=Tolerance(rel=0.3),
     tolerances={

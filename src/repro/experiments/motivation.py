@@ -217,6 +217,13 @@ SWEEP = SweepSpec(
         "repro.machine",
         "repro.signalling",
         "repro.buffers",
+        "repro.traffic",
+        "repro.obs.runtime",
+        "repro.errors",
+        "repro.units",
+        "repro.experiments.motivation",
+        "repro.experiments.report",
+        "repro.harness.points",
     ),
     default_tolerance=Tolerance(rel=0.3),
     tolerances={

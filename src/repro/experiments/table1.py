@@ -163,7 +163,21 @@ SWEEP = SweepSpec(
     name="table1",
     points=sweep_points,
     quantities=golden_quantities,
-    sources=("repro.netbsd", "repro.trace", "repro.cache"),
+    sources=(
+        "repro.netbsd",
+        "repro.trace",
+        "repro.cache",
+        "repro.core",
+        "repro.machine",
+        "repro.sim",
+        "repro.traffic",
+        "repro.obs.runtime",
+        "repro.errors",
+        "repro.units",
+        "repro.experiments.table1",
+        "repro.experiments.report",
+        "repro.harness.points",
+    ),
 )
 
 

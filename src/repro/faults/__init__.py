@@ -1,0 +1,50 @@
+"""Seed-deterministic fault injection and overload robustness.
+
+Three layers (see ISSUE/ROADMAP's robustness goal):
+
+* **Injectors** (:mod:`repro.faults.injectors`) — composable rng-driven
+  stages that corrupt, truncate, reorder, duplicate and delay traffic,
+  plus environment faults (mbuf exhaustion windows, periodic cache
+  flushes, clock derating).
+* **Plans** (:mod:`repro.faults.plan`) — JSON round-trippable
+  compositions of stages with a per-stage deterministic rng derived
+  from the run seed.
+* **Campaigns** (:mod:`repro.faults.campaigns`) — degradation sweeps
+  (overload x drop policy x scheduler) through the parallel harness
+  with golden-pinned curves; CLI in :mod:`repro.faults.cli`
+  (``ldlp-experiment faults ...``).
+
+Drop policies themselves live in :mod:`repro.core.overload` (the
+schedulers depend on them; faults merely sweeps them).
+"""
+
+from .injectors import (
+    STAGE_KINDS,
+    CorruptFault,
+    DelayFault,
+    DuplicateFault,
+    FaultStage,
+    LossFault,
+    MbufExhaustionWindows,
+    ReorderFault,
+    TruncateFault,
+    flip_bytes,
+    stage_from_params,
+)
+from .plan import FAULT_SEED_TAG, FaultPlan
+
+__all__ = [
+    "FAULT_SEED_TAG",
+    "STAGE_KINDS",
+    "CorruptFault",
+    "DelayFault",
+    "DuplicateFault",
+    "FaultPlan",
+    "FaultStage",
+    "LossFault",
+    "MbufExhaustionWindows",
+    "ReorderFault",
+    "TruncateFault",
+    "flip_bytes",
+    "stage_from_params",
+]

@@ -26,6 +26,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "motivation": "repro.experiments.motivation",
     "ablations": "repro.experiments.ablations",
     "schedules": "repro.experiments.schedules",
+    "faults": "repro.faults.campaigns",
 }
 
 

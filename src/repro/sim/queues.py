@@ -47,6 +47,24 @@ class BoundedQueue(Generic[T]):
         return self._items.popleft()
 
     def drain(self, limit: int | None = None) -> list[T]:
-        """Remove and return up to ``limit`` items (all when None)."""
+        """Remove and return up to ``limit`` items (all when None).
+
+        A negative ``limit`` is a caller bug — ``min(limit, len)`` would
+        silently turn it into ``range(-n)`` and return ``[]`` — so it
+        raises instead of masking the error.
+        """
+        if limit is not None and limit < 0:
+            raise ConfigurationError(f"drain limit must be non-negative: {limit}")
         count = len(self._items) if limit is None else min(limit, len(self._items))
         return [self._items.popleft() for _ in range(count)]
+
+    def reset_stats(self) -> None:
+        """Zero the drop/offer/peak counters (queued items are kept).
+
+        Lets one queue be reused across campaign phases — e.g. a fault
+        sweep that measures drops per overload level — without the
+        previous phase's accounting bleeding into the next.
+        """
+        self.drops = 0
+        self.offered = 0
+        self.peak_depth = len(self._items)

@@ -21,6 +21,7 @@ from ..cache.hierarchy import MachineSpec
 from ..core.batching import BatchPolicy
 from ..core.binding import MachineBinding
 from ..core.layer import Layer, LayerFootprint, Message, PassthroughLayer
+from ..core.overload import DROP_POLICIES, make_drop_policy
 from ..core.scheduler import (
     ConventionalScheduler,
     GroupedLDLPScheduler,
@@ -62,7 +63,15 @@ def build_paper_stack(
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Configuration of one synthetic-benchmark run."""
+    """Configuration of one synthetic-benchmark run.
+
+    ``drop_policy`` selects the input-buffer overload behaviour by
+    registry name (:data:`repro.core.overload.DROP_POLICIES`); ``tail``
+    is the paper's classic tail drop.  ``flush_period_cycles`` injects
+    an environment fault: every that-many CPU cycles both caches are
+    flushed cold, modelling interrupt/context-switch pollution
+    (:mod:`repro.faults` campaigns sweep it).
+    """
 
     scheduler: str = "ldlp"
     num_layers: int = 5
@@ -77,6 +86,8 @@ class SimulationConfig:
     pool_buffers: int = 32
     buffer_size: int = 2048
     random_placement: bool = True
+    drop_policy: str = "tail"
+    flush_period_cycles: float | None = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULER_NAMES:
@@ -86,6 +97,13 @@ class SimulationConfig:
             )
         if self.duration <= 0:
             raise ConfigurationError("duration must be positive")
+        if self.drop_policy not in DROP_POLICIES:
+            raise ConfigurationError(
+                f"unknown drop policy {self.drop_policy!r}; expected one of "
+                f"{tuple(sorted(DROP_POLICIES))}"
+            )
+        if self.flush_period_cycles is not None and self.flush_period_cycles <= 0:
+            raise ConfigurationError("cache-flush period must be positive")
 
     def with_scheduler(self, scheduler: str) -> "SimulationConfig":
         """This config with only the scheduler swapped."""
@@ -107,18 +125,27 @@ def _build_scheduler(config: SimulationConfig, seed) -> Scheduler:
         pool_buffers=config.pool_buffers,
         buffer_size=config.buffer_size,
     )
+    drop_policy = make_drop_policy(config.drop_policy)
     if config.scheduler == "conventional":
-        return ConventionalScheduler(layers, binding, config.input_limit)
+        return ConventionalScheduler(
+            layers, binding, config.input_limit, drop_policy=drop_policy
+        )
     if config.scheduler == "ilp":
-        return ILPScheduler(layers, binding, config.input_limit)
+        return ILPScheduler(
+            layers, binding, config.input_limit, drop_policy=drop_policy
+        )
     policy = (
         BatchPolicy(config.batch_limit)
         if config.batch_limit is not None
         else BatchPolicy.from_machine(config.spec)
     )
     if config.scheduler == "grouped":
-        return GroupedLDLPScheduler(layers, binding, config.input_limit, policy)
-    return LDLPScheduler(layers, binding, config.input_limit, policy)
+        return GroupedLDLPScheduler(
+            layers, binding, config.input_limit, policy, drop_policy=drop_policy
+        )
+    return LDLPScheduler(
+        layers, binding, config.input_limit, policy, drop_policy=drop_policy
+    )
 
 
 @dataclass
@@ -133,6 +160,7 @@ class DriveStats:
 def drive(
     scheduler: Scheduler,
     arrivals: list[tuple[float, Message]],
+    flush_period_cycles: float | None = None,
 ) -> DriveStats:
     """Drive any bound scheduler with timestamped messages.
 
@@ -148,13 +176,22 @@ def drive(
     drop an instant event, all on the CPU-cycle clock; the per-layer
     spans inside a step come from
     :meth:`~repro.core.binding.MachineBinding.charge`.
+
+    ``flush_period_cycles`` injects periodic cold-cache faults: after
+    any service step that crosses a period boundary both caches are
+    flushed, modelling interrupts or context switches polluting the
+    cache mid-run (statistics are preserved, so the extra misses show
+    up in the results — that is the point).
     """
     binding = scheduler.binding
     if binding is None:
         raise ConfigurationError("drive() needs a machine-bound scheduler")
+    if flush_period_cycles is not None and flush_period_cycles <= 0:
+        raise ConfigurationError("cache-flush period must be positive")
     recorder = active_recorder()
     cpu = binding.cpu
     clock = cpu.clock
+    next_flush = flush_period_cycles
     pending = [
         (clock.seconds_to_cycles(time), message) for time, message in arrivals
     ]
@@ -170,11 +207,15 @@ def drive(
         while index < len(pending) and pending[index][0] <= cpu.cycles:
             cycle, message = pending[index]
             message.meta["arrival_cycle"] = cycle
-            accepted = scheduler.enqueue_arrival(message)
+            drops_before = scheduler.drops
+            scheduler.enqueue_arrival(message)
             if recorder is not None:
                 recorder.count("messages.arrivals")
-                if not accepted:
-                    recorder.count("messages.drops")
+                lost = scheduler.drops - drops_before
+                if lost:
+                    # Tail drop loses the new message; head drop evicts
+                    # older queued ones — either way, count every loss.
+                    recorder.count("messages.drops", float(lost))
                     recorder.instant(
                         "scheduler", "drop", cpu.cycles, size=message.size
                     )
@@ -209,6 +250,13 @@ def drive(
                     )
                 )
             service_cycles += cpu.cycles - before
+            if next_flush is not None and cpu.cycles >= next_flush:
+                cpu.cold_start()
+                if recorder is not None:
+                    recorder.count("faults.cache_flushes")
+                    recorder.instant("scheduler", "cache_flush", cpu.cycles)
+                while next_flush <= cpu.cycles:
+                    next_flush += flush_period_cycles
     return DriveStats(
         latency=latency, completed=completed, service_cycles=service_cycles
     )
@@ -235,18 +283,27 @@ def run_simulation(
     timestamped = [
         (a.time, Message(size=a.size, arrival_time=a.time)) for a in stream
     ]
-    outcome = drive(scheduler, timestamped)
+    outcome = drive(
+        scheduler, timestamped, flush_period_cycles=config.flush_period_cycles
+    )
     latency = outcome.latency
     completed = outcome.completed
     service_cycles = outcome.service_cycles
 
     imisses = cpu.icache_misses
     dmisses = cpu.dcache_misses
+    # Explicit length checks: ``batch_sizes`` may be a numpy array from
+    # a future scheduler (bare truthiness raises "truth value of an
+    # array is ambiguous") and ``stream`` may be any sequence type.
     batch_sizes = getattr(scheduler, "batch_sizes", None)
-    mean_batch = float(np.mean(batch_sizes)) if batch_sizes else 1.0
+    mean_batch = (
+        float(np.mean(batch_sizes))
+        if batch_sizes is not None and len(batch_sizes) > 0
+        else 1.0
+    )
     rate = getattr(source, "rate", None)
     if rate is None:
-        rate = len(stream) / config.duration if stream else 0.0
+        rate = len(stream) / config.duration if len(stream) > 0 else 0.0
     divisor = max(completed, 1)
     return RunResult(
         scheduler=config.scheduler,

@@ -67,13 +67,32 @@ OCT89_SIZE_MIX = SizeMix(
 )
 
 
-def read_bellcore_trace(path: str | Path, limit: float | None = None) -> list[Arrival]:
+def read_bellcore_trace(
+    path: str | Path, limit: float | None = None, clamp: bool = False
+) -> list[Arrival]:
     """Read a two-column (timestamp, length) Bellcore-format trace.
 
     ``limit`` truncates to the first ``limit`` seconds (the paper uses
     "the first 1000 seconds of the October 5, 1989 trace").
+
+    Every record is validated — a dirty trace silently corrupts every
+    simulation downstream (negative times break the event clock,
+    non-monotonic timestamps deadlock admission ordering, absurd sizes
+    blow out the per-byte cost model).  Violations raise
+    :class:`~repro.errors.TraceError` naming ``file:line``:
+
+    * timestamps must be non-negative and non-decreasing;
+    * sizes must be within ``[1, ETHERNET_MAX]`` bytes.
+
+    Real captures are sometimes dirty in harmless ways (clock skew at
+    a reboot, a trailing runt record).  ``clamp=True`` is the escape
+    hatch: negative times clamp to ``0.0``, a backwards timestamp
+    clamps up to the previous record's time, and sizes clamp into
+    ``[1, ETHERNET_MAX]`` — the trace loads, monotone and in range,
+    instead of raising.
     """
     arrivals: list[Arrival] = []
+    last_time = 0.0
     with open(path, "r", encoding="ascii") as stream:
         for lineno, raw in enumerate(stream, start=1):
             line = raw.strip()
@@ -87,8 +106,32 @@ def read_bellcore_trace(path: str | Path, limit: float | None = None) -> list[Ar
                 size = int(fields[1])
             except ValueError as exc:
                 raise TraceError(f"{path}:{lineno}: cannot parse {line!r}") from exc
+            if time < 0:
+                if not clamp:
+                    raise TraceError(
+                        f"{path}:{lineno}: negative timestamp {time!r} "
+                        f"(pass clamp=True to clamp to 0)"
+                    )
+                time = 0.0
+            if time < last_time:
+                if not clamp:
+                    raise TraceError(
+                        f"{path}:{lineno}: non-monotonic timestamp {time!r} "
+                        f"after {last_time!r} (pass clamp=True to clamp "
+                        f"forward)"
+                    )
+                time = last_time
+            if not 1 <= size <= ETHERNET_MAX:
+                if not clamp:
+                    raise TraceError(
+                        f"{path}:{lineno}: size {size} outside "
+                        f"[1, {ETHERNET_MAX}] (pass clamp=True to clamp "
+                        f"into range)"
+                    )
+                size = min(max(size, 1), ETHERNET_MAX)
             if limit is not None and time >= limit:
                 break
+            last_time = time
             arrivals.append(Arrival(time, size))
     return arrivals
 
