@@ -10,7 +10,12 @@ Four analyzers over the repo's own models and sources, each reporting
 * :mod:`~repro.analysis.schedcheck` — scheduler-configuration validity
   (``SCHED001``–``SCHED004``);
 * :mod:`~repro.analysis.mbuflint` — AST lint of mbuf alloc/free
-  lifecycles in Python sources (``MBUF001``–``MBUF003``).
+  lifecycles in Python sources (``MBUF001``–``MBUF003``);
+* :mod:`~repro.analysis.harnesscheck` — sweep-point import closures vs
+  declared cache sources (``HARN001``);
+* :mod:`~repro.analysis.detcheck` — whole-package determinism and
+  sweep-point parallel purity (``DET001``–``DET005``), with inline
+  ``# det: allow[RULE] reason`` suppressions.
 
 :mod:`~repro.analysis.stacks` wires them into whole-stack pipelines and
 :mod:`~repro.analysis.cli` exposes everything as a CI-gateable command.
@@ -24,6 +29,12 @@ from .budget import (
 )
 from .cli import main
 from .conflict import ConflictMap, SetConflict, analyze_conflicts, build_conflict_map
+from .detcheck import (
+    check_determinism,
+    check_package,
+    check_parallel_purity,
+    check_source,
+)
 from .findings import (
     RULES,
     Finding,
@@ -33,7 +44,7 @@ from .findings import (
     worst_severity,
 )
 from .mbuflint import lint_file, lint_paths, lint_source
-from .reporters import finding_to_dict, render_json, render_text
+from .reporters import finding_to_dict, order_findings, render_json, render_text
 from .schedcheck import check_group_partition, check_scheduler_config
 from .stacks import (
     STACK_NAMES,
@@ -59,14 +70,19 @@ __all__ = [
     "analyze_synthetic_stack",
     "build_conflict_map",
     "check_batch_budget",
+    "check_determinism",
     "check_group_budgets",
     "check_group_partition",
     "check_netbsd_group_budgets",
+    "check_package",
+    "check_parallel_purity",
     "check_scheduler_budgets",
     "check_scheduler_config",
     "check_scheduler_conflicts",
+    "check_source",
     "count_by_severity",
     "finding_to_dict",
+    "order_findings",
     "lint_file",
     "lint_paths",
     "lint_source",

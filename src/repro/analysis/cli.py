@@ -8,8 +8,14 @@ Examples::
     # layout + budget + scheduler-config lint of the modelled stacks
     python -m repro.analysis --stack synthetic --stack netbsd
 
+    # whole-package determinism & parallel-purity gate (DET rules)
+    python -m repro.analysis --determinism
+
     # everything, machine-readable, for CI
     python -m repro.analysis examples/ --stack synthetic --format json
+
+    # the rule catalog
+    python -m repro.analysis --list-rules
 
 Exit status: 0 when no finding reaches the ``--fail-on`` threshold,
 1 when one does, 2 on usage or parse errors.
@@ -21,9 +27,9 @@ import argparse
 import sys
 
 from ..errors import ReproError
-from .findings import Finding, Severity
+from .findings import RULES, Finding, Severity
 from .mbuflint import lint_paths
-from .reporters import render_json, render_text
+from .reporters import order_findings, render_json, render_text
 from .stacks import STACK_NAMES, analyze_stack
 
 
@@ -63,6 +69,20 @@ def build_parser() -> argparse.ArgumentParser:
             "check every experiment's sweep-point import closure against "
             "its declared cache sources (HARN001)"
         ),
+    )
+    parser.add_argument(
+        "--determinism",
+        action="store_true",
+        help=(
+            "run the DET rule family: whole-package determinism lint "
+            "(unseeded RNG, salted hash, wall clocks, unordered "
+            "iteration) plus sweep-point parallel purity (DET001-DET005)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry (id, name, severity, summary) and exit",
     )
     parser.add_argument(
         "--format",
@@ -106,15 +126,42 @@ def run(args: argparse.Namespace) -> tuple[list[Finding], dict[str, object]]:
             "experiments_checked": True,
             "undeclared_sources": len(harness_findings),
         }
+    if args.determinism:
+        from .detcheck import check_determinism
+
+        det_findings = check_determinism()
+        findings.extend(det_findings)
+        summaries["determinism"] = {
+            "package_scanned": True,
+            "det_findings": len(det_findings),
+        }
     return findings, summaries
+
+
+def list_rules() -> str:
+    """The rule registry rendered as one line per rule, sorted by id."""
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(
+            f"{rule.rule_id}  {rule.name:<26} {rule.severity.value:<8} "
+            f"[{rule.paper_section}]"
+        )
+        lines.append(f"        {rule.summary}")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not args.targets and not args.stack and not args.harness:
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    if not args.targets and not args.stack and not args.harness \
+            and not args.determinism:
         parser.error(
-            "nothing to analyze: give source targets, --stack, and/or --harness"
+            "nothing to analyze: give source targets, --stack, --harness, "
+            "and/or --determinism"
         )
     try:
         findings, summaries = run(args)
@@ -125,7 +172,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"cannot read target: {exc}", file=sys.stderr)
         return 2
     render = render_json if args.fmt == "json" else render_text
-    print(render(findings, summaries))
+    print(render(order_findings(findings), summaries))
     return 1 if _should_fail(findings, args.fail_on) else 0
 
 

@@ -42,7 +42,7 @@ class Rule:
 #: The rule registry.  Ids are grouped by subsystem: LDLP* for cache /
 #: working-set checks, SCHED* for scheduler-configuration checks, MBUF*
 #: for the mbuf-lifecycle linter, HARN* for harness cache-dependency
-#: checks.
+#: checks, DET* for the determinism / parallel-purity analyzer.
 RULES: dict[str, Rule] = {
     rule.rule_id: rule
     for rule in (
@@ -146,6 +146,53 @@ RULES: dict[str, Rule] = {
             "Section 3.2",
             "An allocated mbuf is neither freed nor handed off before "
             "its scope ends.",
+        ),
+        Rule(
+            "DET001",
+            "unseeded-rng",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "RNG constructed without a seed (default_rng(), "
+            "random.Random()) or a call into the process-global "
+            "random / legacy numpy.random state; results would differ "
+            "per run and per worker fork.",
+        ),
+        Rule(
+            "DET002",
+            "salted-hash",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "Builtin hash() (PYTHONHASHSEED-salted for str/bytes) or "
+            "id() (an allocation address) feeding a computed value; "
+            "use a content hash instead.",
+        ),
+        Rule(
+            "DET003",
+            "wall-clock",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "Wall-clock read (time.time, perf_counter, datetime.now) "
+            "in analyzed code; per-run timestamps may only feed "
+            "measurement metadata, via a reason-carrying suppression.",
+        ),
+        Rule(
+            "DET004",
+            "unordered-iteration",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "Iteration over a set of salted-hash elements (str/bytes/"
+            "Path) flowing into ordered output without sorted(); "
+            "element order follows the per-interpreter hash salt.",
+        ),
+        Rule(
+            "DET005",
+            "impure-sweep-point",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "A module in a declared sweep point's import closure "
+            "writes module-level state from a function body; point "
+            "functions must be pure functions of their parameters to "
+            "cache and parallelize safely.",
         ),
     )
 }

@@ -12,6 +12,19 @@ import json
 from .findings import Finding, count_by_severity
 
 
+def order_findings(findings: list[Finding]) -> list[Finding]:
+    """Findings in the canonical report order.
+
+    Sorted by (target, line, rule id, message) — a total, content-only
+    order, so a report is byte-identical however the checkers that
+    produced it happened to interleave (and at any ``PYTHONHASHSEED``).
+    """
+    return sorted(
+        findings,
+        key=lambda f: (f.target, f.line or 0, f.rule_id, f.message),
+    )
+
+
 def finding_to_dict(finding: Finding) -> dict[str, object]:
     """The JSON-schema form of one finding (rule metadata inlined)."""
     rule = finding.rule

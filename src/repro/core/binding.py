@@ -20,7 +20,7 @@ from ..machine.executor import (
     MessageBuffer,
     PlacedLayer,
 )
-from ..machine.layout import MemoryLayout
+from ..machine.layout import DEFAULT_SEED, MemoryLayout
 from ..obs.runtime import active_recorder, machine_counters
 from .layer import Layer, Message
 
@@ -36,7 +36,9 @@ class MachineBinding:
     spec:
         The machine description (clock, caches, miss penalty).
     rng:
-        Drives random placement; seed it for reproducible layouts.
+        Drives random placement (an int seed or a numpy generator).
+        When omitted, a fixed default seed is used — never OS entropy —
+        so an unseeded binding still reproduces byte-identically.
     random_placement:
         Paper methodology: random code placement (averaged over seeds).
         Sequential placement gives the conflict-free best case.
@@ -53,9 +55,13 @@ class MachineBinding:
         buffer_size: int = 2048,
     ) -> None:
         self.spec = spec or MachineSpec()
+        if rng is None:
+            # Fixed-seed fallback, never OS entropy (DET001): forgetting
+            # to pass a seed must not silently break reproducibility.
+            rng = DEFAULT_SEED
         if isinstance(rng, (int, np.integer)):
-            rng = np.random.default_rng(rng)
-        self.rng = rng or np.random.default_rng()
+            rng = np.random.default_rng(int(rng))
+        self.rng = rng
         self.random_placement = random_placement
         self.pool_buffers = pool_buffers
         self.buffer_size = buffer_size

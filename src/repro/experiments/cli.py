@@ -17,6 +17,10 @@ Usage::
     ldlp-experiment faults degradation --jobs 4   # fault campaign sweep
     ldlp-experiment faults injectors              # survival matrix
 
+    ldlp-experiment analyze                       # full static-analysis report
+    ldlp-experiment analyze --determinism         # DET gate (exit 1 on ERROR)
+    ldlp-experiment analyze --list-rules          # rule registry
+
 The first form runs one experiment serially and prints its table.  The
 ``run``/``regress`` forms go through :mod:`repro.harness`: sweep points
 fan out over a worker pool, results are cached by content hash, timings
@@ -71,7 +75,52 @@ def _analyze(args: argparse.Namespace) -> None:
 
     analysis_main(
         ["--stack", "synthetic", "--stack", "netbsd", "--harness",
-         "--seed", str(args.seed), "--fail-on", "never"]
+         "--determinism", "--seed", str(args.seed), "--fail-on", "never"]
+    )
+
+
+def _analyze_command(argv: list[str]) -> int:
+    """``ldlp-experiment analyze [...]`` — the analyzer subcommand.
+
+    With no flags this is the legacy report: every checker over both
+    modelled stacks, informational (never fails).  ``--list-rules``
+    prints the rule registry; ``--determinism`` runs only the DET
+    determinism/parallel-purity gate, which *does* gate (exit 1 on an
+    ERROR finding) so CI can wire it directly.
+    """
+    parser = argparse.ArgumentParser(
+        prog="ldlp-experiment analyze",
+        description="Static analysis of the reproduction (repro.analysis).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="placement seed")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--determinism", action="store_true",
+        help="run only the DET determinism/parallel-purity gate",
+    )
+    parser.add_argument(
+        "--format", dest="fmt", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "never"), default=None
+    )
+    args = parser.parse_args(argv)
+    from ..analysis.cli import main as analysis_main
+
+    if args.list_rules:
+        return analysis_main(["--list-rules"])
+    if args.determinism:
+        command = ["--determinism", "--format", args.fmt]
+        if args.fail_on:
+            command += ["--fail-on", args.fail_on]
+        return analysis_main(command)
+    return analysis_main(
+        ["--stack", "synthetic", "--stack", "netbsd", "--harness",
+         "--determinism", "--seed", str(args.seed), "--format", args.fmt,
+         "--fail-on", args.fail_on or "never"]
     )
 
 
@@ -114,11 +163,16 @@ TRACE_COMMAND = "trace"
 #: Subcommand dispatched to the fault-campaign CLI (repro.faults.cli).
 FAULTS_COMMAND = "faults"
 
+#: Subcommand dispatched to the static-analysis CLI (repro.analysis.cli).
+ANALYZE_COMMAND = "analyze"
+
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry: dispatch harness/trace subcommands or run serially."""
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == ANALYZE_COMMAND:
+        return _analyze_command(argv[1:])
     if argv and argv[0] in HARNESS_COMMANDS:
         from ..harness.cli import main as harness_main
 

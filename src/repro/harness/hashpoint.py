@@ -1,0 +1,76 @@
+"""``python -m repro.harness.hashpoint`` — hash one sweep point's result.
+
+The PYTHONHASHSEED smoke gate: CI executes the same sweep point twice
+under different ``PYTHONHASHSEED`` values and diffs the printed hashes.
+Any dependence of a point result on the interpreter's per-process hash
+salt (``hash()`` of strings, set iteration order...) shows up as a
+digest mismatch, independently of the static DET rules::
+
+    a=$(PYTHONHASHSEED=0     python -m repro.harness.hashpoint table1)
+    b=$(PYTHONHASHSEED=12345 python -m repro.harness.hashpoint table1)
+    test "$a" = "$b"
+
+The digest is the SHA-256 of the point result's canonical JSON (sorted
+keys, fixed separators) — the same serialization the result cache and
+the byte-identical ``--jobs`` contract are built on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+
+from ..errors import ReproError
+from .cache import canonical_json
+from .points import SCALES
+from .registry import EXPERIMENT_MODULES, get_spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.hashpoint",
+        description=(
+            "Execute one sweep point in-process and print the SHA-256 of "
+            "its canonical-JSON result (the PYTHONHASHSEED smoke gate)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENT_MODULES),
+        help="experiment whose sweep to draw the point from",
+    )
+    parser.add_argument(
+        "--scale", choices=SCALES, default="ci", help="sweep scale"
+    )
+    parser.add_argument(
+        "--index", type=int, default=0,
+        help="which declared point to execute (default: the first)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = get_spec(args.experiment)
+        points = spec.points_for(args.scale)
+        if not 0 <= args.index < len(points):
+            parser.error(
+                f"--index {args.index} out of range; {spec.name!r} declares "
+                f"{len(points)} point(s) at scale {args.scale!r}"
+            )
+        point = points[args.index]
+        digest = hashlib.sha256(
+            canonical_json(point.execute()).encode("utf-8")
+        ).hexdigest()
+    except ReproError as exc:
+        print(f"hashpoint failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"{spec.name}/{point.key} {digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

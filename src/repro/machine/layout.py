@@ -23,6 +23,12 @@ from .program import Region
 #: placements exercise all cache indices uniformly.
 DEFAULT_SPAN = 64 * 1024 * 1024
 
+#: Seed used when no ``rng`` is supplied.  A *fixed* seed, never OS
+#: entropy: an entropy-seeded fallback silently breaks the harness's
+#: byte-identical-at-any---jobs contract the first time a caller forgets
+#: to thread a seed through (rule DET001).
+DEFAULT_SEED = 0
+
 
 class MemoryLayout:
     """Allocates non-overlapping, line-aligned base addresses.
@@ -41,9 +47,9 @@ class MemoryLayout:
         seed (coerced to a seeded generator).  The generator is owned by
         this instance — placement never touches module-level RNG state,
         so harness workers constructing layouts concurrently can never
-        share or interleave random streams.  When omitted, a fresh
-        entropy-seeded generator is created per instance; pass a seed
-        for reproducible layouts.
+        share or interleave random streams.  When omitted, the layout
+        uses :data:`DEFAULT_SEED` — deterministically, never OS entropy —
+        so ``MemoryLayout()`` places identically on every run.
     """
 
     def __init__(
@@ -60,9 +66,11 @@ class MemoryLayout:
         self.line_size = line_size
         self.base = base
         self.span = span
+        if rng is None:
+            rng = DEFAULT_SEED
         if isinstance(rng, (int, np.integer)):
             rng = np.random.default_rng(int(rng))
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng
         self._next_free = base
         self._intervals: list[tuple[int, int]] = []  # sorted (start, end)
 

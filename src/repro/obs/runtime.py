@@ -283,7 +283,7 @@ def install(recorder: Recorder | None) -> Recorder | None:
     """
     global _recorder
     previous = _recorder
-    _recorder = recorder
+    _recorder = recorder  # det: allow[DET005] process-local install point; harness workers install and restore their own recorder per point
     return previous
 
 

@@ -71,6 +71,7 @@ class TestFindings:
             "SCHED001", "SCHED002", "SCHED003", "SCHED004",
             "MBUF001", "MBUF002", "MBUF003",
             "HARN001",
+            "DET001", "DET002", "DET003", "DET004", "DET005",
         }
         assert expected == set(RULES)
         for rule in RULES.values():

@@ -253,6 +253,34 @@ class TestBench:
         assert record["slowest_point"]["key"] in run.point_elapsed
         assert data["totals"]["points"] == 4
 
+    def test_write_bench_clock_is_injectable(self, tmp_path):
+        """The generated_unix stamp comes from the clock parameter, so a
+        fixed clock makes the BENCH file fully deterministic (the real
+        time.time default carries the canonical DET003 suppression)."""
+        spec = tiny_sim_spec()
+        run = run_experiment(spec, jobs=1, cache=ResultCache(tmp_path / "c"))
+        out = write_bench(
+            [run], tmp_path / "BENCH.json", clock=lambda: 1234567890.9
+        )
+        data = json.loads(out.read_text())
+        assert data["generated_unix"] == 1234567890
+
+    def test_hashpoint_digest_is_stable(self, capsys):
+        """python -m repro.harness.hashpoint prints the same digest for
+        the same point in-process (the CI seed-matrix smoke compares it
+        across PYTHONHASHSEED values)."""
+        from repro.harness.hashpoint import main as hashpoint_main
+
+        digests = []
+        for _ in range(2):
+            assert hashpoint_main(["table1", "--scale", "ci"]) == 0
+            line = capsys.readouterr().out.strip()
+            name, digest = line.split()
+            assert name.startswith("table1/")
+            digests.append(digest)
+        assert digests[0] == digests[1]
+        assert len(digests[0]) == 64
+
 
 class TestHarnessCli:
     def test_run_and_regress_roundtrip(self, tmp_path, capsys):

@@ -5,6 +5,7 @@ import pytest
 
 from repro.cache import MachineSpec
 from repro.errors import ConfigurationError, LayoutError
+from repro.machine import layout as layout_mod
 from repro.machine import (
     CPU,
     BufferPool,
@@ -126,12 +127,22 @@ class TestMemoryLayout:
         second_next = second.place_random(Region("r", 64)).base
         assert first_next == second_next
 
-    def test_unseeded_layouts_differ(self):
-        bases = {
+    def test_default_rng_is_fixed_seed(self):
+        """``rng=None`` must mean DEFAULT_SEED, not OS entropy (DET001):
+        every default-constructed layout places identically, and the
+        placements are byte-pinned so a silent seed change fails here."""
+        bases = [
             MemoryLayout(line_size=32).place_random(Region("r", 64)).base
-            for _ in range(8)
-        }
-        assert len(bases) > 1
+            for _ in range(4)
+        ]
+        assert len(set(bases)) == 1
+        seeded = MemoryLayout(line_size=32, rng=layout_mod.DEFAULT_SEED)
+        assert seeded.place_random(Region("r", 64)).base == bases[0]
+        pinned = MemoryLayout(line_size=32)
+        placed = [
+            pinned.place_random(Region(f"r{i}", 64)).base for i in range(4)
+        ]
+        assert placed == [57084384, 42745728, 34301760, 18105056]
 
     def test_double_placement_rejected(self):
         layout = MemoryLayout()

@@ -1,0 +1,114 @@
+"""Tests for repro.analysis.reporters — text/JSON shapes and ordering."""
+
+import json
+
+import numpy as np
+
+from repro.analysis import Finding
+from repro.analysis.reporters import (
+    finding_to_dict,
+    order_findings,
+    render_json,
+    render_text,
+)
+
+
+def sample_findings():
+    return [
+        Finding("MBUF001", "freed twice", "examples/demo.py", line=12),
+        Finding("LDLP002", "working set 68KB > 8KB", "stack:netbsd",
+                details={"overflow_bytes": 61440}),
+        Finding("DET003", "wall-clock read time.time", "src/repro/x.py",
+                line=3, details={"clock": "time.time"}),
+    ]
+
+
+class TestOrderFindings:
+    def test_sorted_by_target_line_rule(self):
+        ordered = order_findings(sample_findings())
+        assert [f.target for f in ordered] == [
+            "examples/demo.py", "src/repro/x.py", "stack:netbsd"
+        ]
+
+    def test_total_order_is_input_order_independent(self):
+        findings = sample_findings()
+        forward = order_findings(findings)
+        backward = order_findings(list(reversed(findings)))
+        assert [f.location for f in forward] == [f.location for f in backward]
+
+    def test_ties_broken_by_line_then_rule(self):
+        findings = [
+            Finding("MBUF002", "b", "f.py", line=5),
+            Finding("MBUF001", "a", "f.py", line=5),
+            Finding("MBUF001", "a", "f.py", line=2),
+        ]
+        ordered = order_findings(findings)
+        assert [(f.line, f.rule_id) for f in ordered] == [
+            (2, "MBUF001"), (5, "MBUF001"), (5, "MBUF002")
+        ]
+
+    def test_does_not_mutate_input(self):
+        findings = sample_findings()
+        snapshot = list(findings)
+        order_findings(findings)
+        assert findings == snapshot
+
+
+class TestRenderText:
+    def test_one_line_per_finding_plus_counts(self):
+        text = render_text(order_findings(sample_findings()))
+        lines = text.splitlines()
+        assert lines[0].startswith("examples/demo.py:12: error MBUF001")
+        assert "double-free" in lines[0]
+        assert lines[-1] == "3 finding(s): 2 error(s), 1 warning(s), 0 info"
+
+    def test_empty_report(self):
+        assert render_text([]) == "no findings"
+
+    def test_summaries_appended(self):
+        text = render_text([], summaries={"determinism": {"det_findings": 0}})
+        assert "[determinism]" in text.splitlines()[-1]
+
+
+class TestRenderJson:
+    def test_schema_shape(self):
+        payload = json.loads(render_json(sample_findings()))
+        assert payload["analyzer"] == "repro.analysis"
+        assert payload["counts"] == {"error": 2, "warning": 1, "info": 0}
+        assert len(payload["findings"]) == 3
+        first = payload["findings"][0]
+        assert set(first) == {
+            "rule_id", "rule", "severity", "paper_section",
+            "target", "line", "location", "message", "details",
+        }
+
+    def test_rule_metadata_inlined(self):
+        entry = finding_to_dict(sample_findings()[1])
+        assert entry["rule"] == "working-set-overflow"
+        assert entry["severity"] == "warning"
+        assert entry["paper_section"] == "Section 2, Table 1"
+        assert entry["location"] == "stack:netbsd"
+        assert entry["details"] == {"overflow_bytes": 61440}
+
+    def test_numpy_details_coerced(self):
+        finding = Finding(
+            "LDLP001", "alias", "layout",
+            details={"bytes": np.int64(4096)},
+        )
+        payload = json.loads(render_json([finding]))
+        assert payload["findings"][0]["details"]["bytes"] == 4096
+
+    def test_arbitrary_detail_coerced_to_str(self):
+        # _json_default falls back through int/float/str; str() accepts
+        # nearly anything, so odd leaves degrade to repr-ish text rather
+        # than crashing the report.
+        finding = Finding("LDLP001", "alias", "layout",
+                          details={"bad": object()})
+        payload = json.loads(render_json([finding]))
+        assert payload["findings"][0]["details"]["bad"].startswith("<object")
+
+    def test_summaries_key(self):
+        payload = json.loads(
+            render_json([], summaries={"determinism": {"det_findings": 0}})
+        )
+        assert payload["stacks"]["determinism"]["det_findings"] == 0
