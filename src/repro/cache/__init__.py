@@ -10,6 +10,7 @@ Public surface:
 """
 
 from .cache import Cache, DirectMappedCache, SetAssociativeCache
+from .chunked import SegmentedAccessPlan, UnsupportedPlanError, unit_plan
 from .hierarchy import (
     DEC3000_400,
     ROSENBLUM_1998,
@@ -42,8 +43,11 @@ __all__ = [
     "LineSizeTable",
     "MachineSpec",
     "ROSENBLUM_1998",
+    "SegmentedAccessPlan",
     "SetAssociativeCache",
     "SplitCacheHierarchy",
+    "UnsupportedPlanError",
+    "unit_plan",
     "WorkingSetAnalyzer",
     "WorkingSetReport",
     "line_base",

@@ -187,6 +187,51 @@ class DirectMappedCache(Cache):
         missed = [line for line in range(first, last + 1) if self.access_line(line)]
         return np.asarray(missed, dtype=np.int64)
 
+    def access_stream(
+        self, lines: np.ndarray, chunk_size: int | None = None
+    ) -> np.ndarray:
+        """Vectorized *sequential* access to an arbitrary line stream.
+
+        Exactly equivalent to calling :meth:`access_line` once per
+        element (no distinct-sets requirement — repeats and conflicts
+        are handled), but implemented as a chunked segmented-plan
+        replay (:mod:`repro.cache.chunked`).  Returns the boolean miss
+        mask in stream order.  Results are invariant under
+        ``chunk_size`` (None = the whole stream as one chunk); chunking
+        only bounds the transient memory of plan construction.
+        """
+        from .chunked import unit_plan
+
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        if lines.size and int(lines.min()) < 0:
+            raise ConfigurationError("line numbers must be non-negative")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ConfigurationError(
+                f"chunk size must be positive, got {chunk_size}"
+            )
+        step = int(lines.size) if chunk_size is None else chunk_size
+        masks = []
+        for start in range(0, int(lines.size), max(step, 1)):
+            chunk = lines[start : start + step]
+            _, mask = unit_plan(chunk, self.num_lines).apply(
+                self._tags, self.stats, return_mask=True
+            )
+            masks.append(mask)
+        if not masks:
+            return np.zeros(0, dtype=bool)
+        return np.concatenate(masks)
+
+    @property
+    def tag_array(self) -> np.ndarray:
+        """The live tag array (one int64 tag per set; ``-1`` = empty).
+
+        Exposed for the vectorized engine, which replays precompiled
+        :class:`repro.cache.chunked.SegmentedAccessPlan` objects against
+        it.  Mutating it bypasses statistics accounting — use the
+        ``access_*`` methods unless you are implementing a kernel.
+        """
+        return self._tags
+
     def resident_lines(self) -> set[int]:
         """Return the set of line numbers currently resident (for tests)."""
         return {int(tag) for tag in self._tags if tag != -1}

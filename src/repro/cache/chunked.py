@@ -1,0 +1,158 @@
+"""Vectorized (chunked/segmented) direct-mapped cache kernels.
+
+The scalar hot path simulates one *call* at a time:
+:meth:`repro.cache.cache.DirectMappedCache.access_line_array_report`
+gathers the resident tags for every position of the call, compares,
+then scatters the new tags — parallel *within* a call, sequential
+*across* calls.  This module precomputes everything about a whole
+sequence of such calls (a *segmented plan*) so that replaying it against
+live cache state costs a handful of numpy operations instead of a
+Python-level loop.
+
+The trick that makes a static template possible: when no single segment
+contains two positions mapping to the same cache set (true for every
+placed layer and message buffer — their line arrays are contiguous and
+smaller than the cache), the tag left in set ``s`` after a segment is
+simply the line of the *last* position with set ``s`` in that segment,
+hit or miss.  Therefore, for any position whose set was already touched
+by an *earlier* segment of the plan, the resident tag it observes is a
+static, state-independent quantity; only positions touching a set for
+the *first time* within the plan need a gather from the live tag array.
+
+A plan whose segments all have length one reproduces element-sequential
+semantics exactly, which is what :meth:`DirectMappedCache.access_stream`
+uses — and why results are invariant under the chunk size used to slice
+the stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stats import CacheStats
+
+
+class UnsupportedPlanError(ValueError):
+    """A segment contains two positions with the same set index.
+
+    The static-template shortcut is unsound in that case (the second
+    position's resident tag depends on the first's hit/miss outcome at
+    *apply* time), so callers must fall back to the scalar path.
+    """
+
+
+class SegmentedAccessPlan:
+    """A precompiled sequence of parallel-within-call cache accesses.
+
+    Parameters
+    ----------
+    lines:
+        All line numbers of the plan, segment by segment (int64).
+    seg_offsets:
+        Segment boundaries into ``lines``: segment ``j`` is
+        ``lines[seg_offsets[j]:seg_offsets[j + 1]]``.  Each segment is
+        one scalar ``access_line_array_report`` call.
+    num_lines:
+        Number of sets of the (direct-mapped) cache this plan targets.
+
+    Raises
+    ------
+    UnsupportedPlanError
+        If any segment touches the same set twice (see module docs).
+    """
+
+    def __init__(
+        self, lines: np.ndarray, seg_offsets: np.ndarray, num_lines: int
+    ) -> None:
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        offsets = np.ascontiguousarray(seg_offsets, dtype=np.int64)
+        total = int(lines.size)
+        nseg = int(offsets.size) - 1
+        self.size = total
+        self.num_segments = nseg
+        sets = lines % num_lines if total else lines
+        seg_ids = np.repeat(np.arange(nseg, dtype=np.int64), np.diff(offsets))
+        # Stable sort by set: equal-set positions stay in stream order,
+        # so "previous element in the sorted run" = "previous occurrence
+        # of this set in the stream".
+        order = np.argsort(sets, kind="stable")
+        sorted_sets = sets[order]
+        sorted_segs = seg_ids[order]
+        sorted_lines = lines[order]
+        repeat = np.zeros(total, dtype=bool)
+        if total > 1:
+            repeat[1:] = sorted_sets[1:] == sorted_sets[:-1]
+            if bool(np.any(repeat[1:] & (sorted_segs[1:] == sorted_segs[:-1]))):
+                raise UnsupportedPlanError(
+                    "segment touches the same cache set twice"
+                )
+        # Dynamic part: first occurrence of each set — resident tag must
+        # be gathered from live state at apply() time.
+        first = ~repeat
+        self._first_sets = sorted_sets[first]
+        self._first_lines = sorted_lines[first]
+        self._first_segs = sorted_segs[first]
+        self._first_positions = order[first]
+        # Static part: repeat occurrences observe the previous
+        # occurrence's line as resident (valid tag, so every miss here
+        # is also an eviction), independent of live state.
+        prev_lines = np.empty(0, dtype=np.int64)
+        if total > 1:
+            prev_lines = sorted_lines[:-1][repeat[1:]]
+        repeat_lines = sorted_lines[repeat]
+        repeat_miss = repeat_lines != prev_lines
+        self._static_miss_positions = order[repeat][repeat_miss]
+        self._static_misses = int(repeat_miss.sum())
+        self._static_per_segment = np.bincount(
+            sorted_segs[repeat][repeat_miss], minlength=nseg
+        ).astype(np.int64)
+        # Final state: the tag of each touched set is the line of its
+        # last occurrence in the plan (hit or miss — see module docs).
+        last = np.ones(total, dtype=bool)
+        if total > 1:
+            last[:-1] = ~repeat[1:]
+        self._last_sets = sorted_sets[last]
+        self._last_lines = sorted_lines[last]
+
+    def apply(
+        self,
+        tags: np.ndarray,
+        stats: CacheStats | None = None,
+        return_mask: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Replay the plan against live ``tags``, mutating them in place.
+
+        Returns the per-segment miss counts (int64, one per segment);
+        with ``return_mask`` also returns the per-position miss mask in
+        stream order.  ``stats``, when given, accrues hits, misses, and
+        evictions exactly as the scalar per-call path would.
+        """
+        resident = tags[self._first_sets]
+        first_miss = self._first_lines != resident
+        if self._last_sets.size:
+            tags[self._last_sets] = self._last_lines
+        per_segment = self._static_per_segment.copy()
+        if first_miss.size:
+            per_segment += np.bincount(
+                self._first_segs[first_miss], minlength=self.num_segments
+            )
+        if stats is not None:
+            dynamic_misses = int(np.count_nonzero(first_miss))
+            misses = self._static_misses + dynamic_misses
+            stats.misses += misses
+            stats.hits += self.size - misses
+            stats.evictions += self._static_misses + int(
+                np.count_nonzero(first_miss & (resident != -1))
+            )
+        if return_mask:
+            mask = np.zeros(self.size, dtype=bool)
+            mask[self._static_miss_positions] = True
+            mask[self._first_positions] = first_miss
+            return per_segment, mask
+        return per_segment
+
+
+def unit_plan(lines: np.ndarray, num_lines: int) -> SegmentedAccessPlan:
+    """A plan of single-element segments: element-sequential semantics."""
+    offsets = np.arange(int(np.asarray(lines).size) + 1, dtype=np.int64)
+    return SegmentedAccessPlan(lines, offsets, num_lines)

@@ -100,6 +100,11 @@ class MachineBinding:
         """True once :meth:`bind` has placed the layers in memory."""
         return bool(self._placed)
 
+    @property
+    def pool(self) -> BufferPool | None:
+        """The placed message-buffer ring (None before :meth:`bind`)."""
+        return self._pool
+
     def placed_layer(self, name: str) -> PlacedLayer:
         """The placed code/data regions of one bound layer, by name."""
         try:

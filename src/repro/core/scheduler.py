@@ -354,6 +354,30 @@ class ILPScheduler(Scheduler):
         return completions
 
 
+def take_batch(scheduler: "LDLPScheduler | GroupedLDLPScheduler") -> list[Message]:
+    """Pop one service-step batch off a batched scheduler's input queue.
+
+    Applies the drop policy's dynamic batch cap, appends to
+    ``batch_sizes``, and bumps the ``ldlp.batches`` /
+    ``ldlp.batched_messages`` counters — the single place batch
+    assembly happens, shared by the scalar ``service_step`` paths and
+    the vectorized engine (:mod:`repro.sim.vec`) so both observe
+    byte-identical batching behavior.
+    """
+    limit = scheduler.drop_policy.batch_limit(
+        scheduler.batch_limit, len(scheduler.input_queue), scheduler.input_limit
+    )
+    batch: list[Message] = []
+    while scheduler.input_queue and len(batch) < limit:
+        batch.append(scheduler.input_queue.popleft())
+    scheduler.batch_sizes.append(len(batch))
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.count("ldlp.batches")
+        recorder.count("ldlp.batched_messages", float(len(batch)))
+    return batch
+
+
 class LDLPScheduler(Scheduler):
     """Locality-driven layer processing (the paper's Section 3).
 
@@ -401,18 +425,7 @@ class LDLPScheduler(Scheduler):
         """Drain up to one batch through the stack layer by layer."""
         if not self.input_queue:
             return []
-        limit = self.drop_policy.batch_limit(
-            self.batch_limit, len(self.input_queue), self.input_limit
-        )
-        batch = 0
-        while self.input_queue and batch < limit:
-            self._queues[0].append(self.input_queue.popleft())
-            batch += 1
-        self.batch_sizes.append(batch)
-        recorder = active_recorder()
-        if recorder is not None:
-            recorder.count("ldlp.batches")
-            recorder.count("ldlp.batched_messages", float(batch))
+        self._queues[0].extend(take_batch(self))
         completions: list[Completion] = []
         # Run layers bottom-up; repeat while flush() backwash leaves
         # work in any queue (e.g. a held-back coalesced message).
@@ -523,18 +536,7 @@ class GroupedLDLPScheduler(Scheduler):
         """Drain up to one batch through the stack group by group."""
         if not self.input_queue:
             return []
-        limit = self.drop_policy.batch_limit(
-            self.batch_limit, len(self.input_queue), self.input_limit
-        )
-        batch = 0
-        while self.input_queue and batch < limit:
-            self._group_queues[0].append(self.input_queue.popleft())
-            batch += 1
-        self.batch_sizes.append(batch)
-        recorder = active_recorder()
-        if recorder is not None:
-            recorder.count("ldlp.batches")
-            recorder.count("ldlp.batched_messages", float(batch))
+        self._group_queues[0].extend(take_batch(self))
         completions: list[Completion] = []
         while any(self._group_queues):
             for group_index, member_layers in enumerate(self.groups):

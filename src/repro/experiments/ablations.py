@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from ..cache.hierarchy import MachineSpec
@@ -240,10 +240,13 @@ def _configs_for(
 
 
 def compute_point(
-    sweep: str, value: float, rate: float, duration: float, seed: int = 0
+    sweep: str, value: float, rate: float, duration: float, seed: int = 0,
+    engine: str = "vec",
 ) -> dict:
     """One ablation value: conventional vs LDLP on the same arrivals."""
     conv_cfg, ldlp_cfg = _configs_for(sweep, value, duration)
+    conv_cfg = replace(conv_cfg, engine=engine)
+    ldlp_cfg = replace(ldlp_cfg, engine=engine)
     conv, ldlp = _run_pair(conv_cfg, ldlp_cfg, rate, seed)
     return {"conventional": conv.to_dict(), "ldlp": ldlp.to_dict()}
 

@@ -129,6 +129,7 @@ def clock_point(
     seeds: list[int],
     duration: float,
     mean_rate: float,
+    engine: str = "vec",
 ) -> dict:
     """One (scheduler, CPU clock) point on the self-similar trace.
 
@@ -140,7 +141,11 @@ def clock_point(
     for seed in seeds:
         stream = synthesize_bellcore_like(duration, mean_rate=mean_rate, rng=seed)
         config = SimulationConfig(
-            scheduler=scheduler, duration=duration, spec=spec, buffer_size=2048
+            scheduler=scheduler,
+            duration=duration,
+            spec=spec,
+            buffer_size=2048,
+            engine=engine,
         )
         per_seed.append(
             run_simulation(TraceSource(stream), config, seed=seed, arrivals=stream)

@@ -59,6 +59,7 @@ def fault_point(
     seeds: list[int],
     duration: float,
     plan: dict[str, Any],
+    engine: str = "vec",
 ) -> dict[str, Any]:
     """One (scheduler, policy, overload-rate) campaign point.
 
@@ -78,6 +79,7 @@ def fault_point(
         spec=spec,
         drop_policy=policy,
         flush_period_cycles=fault_plan.flush_period_cycles,
+        engine=engine,
     )
     results = []
     violations = 0

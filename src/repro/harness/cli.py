@@ -22,8 +22,9 @@ import sys
 from ..errors import ConfigurationError
 from .bench import DEFAULT_BENCH_PATH, write_bench
 from .cache import ResultCache
+from ..sim.runner import ENGINE_NAMES
 from .golden import DEFAULT_GOLDENS_DIR, bless, check_quantities, load_golden
-from .points import SCALES
+from .points import SCALES, with_engine
 from .registry import EXPERIMENT_MODULES, get_spec
 from .runner import ExperimentRun, run_experiment
 
@@ -72,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--no-bench", action="store_true", help="skip writing the BENCH file"
         )
+        cmd.add_argument(
+            "--engine", choices=ENGINE_NAMES, default=None,
+            help=(
+                "pin simulation-backed points to one drive-loop engine "
+                "(default: each point's own default, currently vec); "
+                "engine-pinned params get their own cache namespace"
+            ),
+        )
     run_cmd, regress_cmd = sub.choices["run"], sub.choices["regress"]
     run_cmd.add_argument(
         "--quantities", action="store_true",
@@ -102,6 +111,8 @@ def _run_all(args: argparse.Namespace) -> list[ExperimentRun]:
     runs = []
     for name in names:
         spec = get_spec(name)
+        if args.engine is not None:
+            spec = with_engine(spec, args.engine)
         run = run_experiment(spec, scale=args.scale, jobs=args.jobs, cache=cache)
         print(run.timing_summary())
         runs.append(run)

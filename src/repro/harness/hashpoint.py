@@ -20,10 +20,11 @@ from __future__ import annotations
 import argparse
 import hashlib
 import sys
+from dataclasses import replace
 
 from ..errors import ReproError
 from .cache import canonical_json
-from .points import SCALES
+from .points import SCALES, point_accepts_engine
 from .registry import EXPERIMENT_MODULES, get_spec
 
 
@@ -47,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--index", type=int, default=0,
         help="which declared point to execute (default: the first)",
     )
+    parser.add_argument(
+        "--engine", choices=("scalar", "vec"), default=None,
+        help=(
+            "pin a simulation-backed point to one drive-loop engine; "
+            "the cross-engine CI gate diffs scalar vs vec digests"
+        ),
+    )
     return parser
 
 
@@ -62,6 +70,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"{len(points)} point(s) at scale {args.scale!r}"
             )
         point = points[args.index]
+        if args.engine is not None and point_accepts_engine(point):
+            point = replace(
+                point, params={**point.params, "engine": args.engine}
+            )
         digest = hashlib.sha256(
             canonical_json(point.execute()).encode("utf-8")
         ).hexdigest()

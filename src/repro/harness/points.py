@@ -9,7 +9,8 @@ points with its golden quantities and cache dependencies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import inspect
+from dataclasses import dataclass, field, replace
 from importlib import import_module
 from typing import Any, Callable
 
@@ -134,3 +135,33 @@ class SweepSpec:
     def tolerance_for(self, quantity: str) -> Tolerance:
         """The per-quantity tolerance, falling back to the default."""
         return self.tolerances.get(quantity, self.default_tolerance)
+
+
+def point_accepts_engine(point: SweepPoint) -> bool:
+    """Whether a point's function takes the ``engine`` keyword.
+
+    Simulation-backed points (``poisson_point``, ``fault_point``, …)
+    declare it; analytic points (tables, figure 1) do not and must be
+    left untouched by :func:`with_engine`.
+    """
+    return "engine" in inspect.signature(point.resolve()).parameters
+
+
+def with_engine(spec: SweepSpec, engine: str) -> SweepSpec:
+    """A copy of ``spec`` with every sim point pinned to one engine.
+
+    Points whose functions accept an ``engine`` keyword get it injected
+    into their params — which also namespaces their result-cache keys
+    per engine (params are part of the content hash), so the per-engine
+    CI regress gates never share cache entries.  Points without the
+    keyword pass through unchanged.
+    """
+    def pinned_points(scale: str) -> list[SweepPoint]:
+        return [
+            replace(point, params={**point.params, "engine": engine})
+            if point_accepts_engine(point)
+            else point
+            for point in spec.points(scale)
+        ]
+
+    return replace(spec, points=pinned_points)

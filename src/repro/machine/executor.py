@@ -94,9 +94,13 @@ class PlacedLayer:
 class MessageBuffer:
     """A placed message buffer: where one message's bytes live in memory."""
 
-    def __init__(self, region: Region, line_size: int) -> None:
+    def __init__(self, region: Region, line_size: int, index: int = 0) -> None:
         self.region = region
         self.line_size = line_size
+        #: Stable position of this buffer in its pool's ring (0 for a
+        #: free-standing buffer).  The vectorized engine keys its cached
+        #: batch templates on ring slots rather than object identity.
+        self.index = index
         self._all_lines = region.line_numbers(line_size)
 
     @property
@@ -143,7 +147,7 @@ class BufferPool:
         for index in range(count):
             region = Region(f"msgbuf[{index}]", buffer_size, RegionKind.DATA)
             place(region)
-            self.buffers.append(MessageBuffer(region, layout.line_size))
+            self.buffers.append(MessageBuffer(region, layout.line_size, index))
         self._next = 0
 
     def __len__(self) -> int:

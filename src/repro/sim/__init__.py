@@ -8,6 +8,7 @@ from .runner import (
     ComparisonResult,
     DriveStats,
     drive,
+    ENGINE_NAMES,
     SCHEDULER_NAMES,
     SimulationConfig,
     build_paper_stack,
@@ -22,14 +23,17 @@ from .stats import (
     RunResult,
     merge_results,
 )
+from .vec import arrival_table, try_drive_vec, vec_supported
 
 __all__ = [
     "BoundedQueue",
     "DriveStats",
     "drive",
     "ComparisonResult",
+    "ENGINE_NAMES",
     "Event",
     "EventQueue",
+    "arrival_table",
     "LatencyRecorder",
     "LatencySummary",
     "MissesPerMessage",
@@ -42,4 +46,6 @@ __all__ = [
     "merge_results",
     "run_averaged",
     "run_simulation",
+    "try_drive_vec",
+    "vec_supported",
 ]

@@ -43,6 +43,11 @@ from .stats import (
 #: Scheduler registry keyed by the names used throughout the experiments.
 SCHEDULER_NAMES = ("conventional", "ilp", "ldlp", "grouped")
 
+#: Drive-loop engines: the scalar reference loop and the vectorized
+#: batch/columnar replay (:mod:`repro.sim.vec`), which is bit-identical
+#: where supported and falls back to scalar where not.
+ENGINE_NAMES = ("scalar", "vec")
+
 
 def build_paper_stack(
     num_layers: int = 5,
@@ -88,8 +93,14 @@ class SimulationConfig:
     random_placement: bool = True
     drop_policy: str = "tail"
     flush_period_cycles: float | None = None
+    engine: str = "vec"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{ENGINE_NAMES}"
+            )
         if self.scheduler not in SCHEDULER_NAMES:
             raise ConfigurationError(
                 f"unknown scheduler {self.scheduler!r}; expected one of "
@@ -161,6 +172,7 @@ def drive(
     scheduler: Scheduler,
     arrivals: list[tuple[float, Message]],
     flush_period_cycles: float | None = None,
+    engine: str = "scalar",
 ) -> DriveStats:
     """Drive any bound scheduler with timestamped messages.
 
@@ -182,12 +194,29 @@ def drive(
     flushed, modelling interrupts or context switches polluting the
     cache mid-run (statistics are preserved, so the extra misses show
     up in the results — that is the point).
+
+    ``engine`` selects the drive loop: ``"scalar"`` is this module's
+    reference loop; ``"vec"`` replays service steps through the
+    batch/columnar engine (:mod:`repro.sim.vec`), which is bit-identical
+    where supported and silently falls back to the scalar loop where
+    not (stateful layers, L2 hierarchies, self-conflicting placements,
+    span-keeping recorders).
     """
     binding = scheduler.binding
     if binding is None:
         raise ConfigurationError("drive() needs a machine-bound scheduler")
     if flush_period_cycles is not None and flush_period_cycles <= 0:
         raise ConfigurationError("cache-flush period must be positive")
+    if engine not in ENGINE_NAMES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        )
+    if engine == "vec":
+        from .vec import try_drive_vec
+
+        outcome = try_drive_vec(scheduler, arrivals, flush_period_cycles)
+        if outcome is not None:
+            return outcome
     recorder = active_recorder()
     cpu = binding.cpu
     clock = cpu.clock
@@ -284,7 +313,10 @@ def run_simulation(
         (a.time, Message(size=a.size, arrival_time=a.time)) for a in stream
     ]
     outcome = drive(
-        scheduler, timestamped, flush_period_cycles=config.flush_period_cycles
+        scheduler,
+        timestamped,
+        flush_period_cycles=config.flush_period_cycles,
+        engine=config.engine,
     )
     latency = outcome.latency
     completed = outcome.completed
@@ -347,17 +379,23 @@ def poisson_point(
     message_size: int = 552,
     clock_mhz: float | None = None,
     buffer_size: int = 2048,
+    engine: str = "vec",
 ) -> dict:
     """One (scheduler, rate) sweep point of the Section-4 benchmark.
 
     Module-level and fully determined by its arguments so harness
     workers can execute it in parallel (it pickles by dotted name) and
     the result cache can key it by content hash.  Returns the averaged
-    :class:`RunResult` in JSON-serializable form.
+    :class:`RunResult` in JSON-serializable form.  ``engine`` selects
+    the drive loop (results are engine-invariant; only speed differs).
     """
     spec = MachineSpec() if clock_mhz is None else MachineSpec(clock_hz=clock_mhz * 1e6)
     config = SimulationConfig(
-        scheduler=scheduler, duration=duration, spec=spec, buffer_size=buffer_size
+        scheduler=scheduler,
+        duration=duration,
+        spec=spec,
+        buffer_size=buffer_size,
+        engine=engine,
     )
     result = run_averaged(
         lambda seed: PoissonSource(rate, size=message_size, rng=seed),

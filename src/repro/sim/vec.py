@@ -1,0 +1,461 @@
+"""The vectorized (columnar) drive-loop engine.
+
+:func:`repro.sim.runner.drive` spends essentially all of its time in
+the scalar service path: one Python-level call per (layer, message)
+invocation, each performing a handful of small numpy cache probes and
+float additions.  This module replaces a whole service step with a
+constant number of numpy operations, while producing **bit-identical**
+results — same latency samples in the same order, same cache statistics,
+same obs counters, same drop decisions.
+
+How it works
+------------
+*Columnar arrivals.*  The timestamped arrival stream becomes one numpy
+structured array (:data:`ARRIVAL_DTYPE`); admission scans an index over
+it instead of destructuring tuples.
+
+*Static step templates.*  For a given scheduler kind, the sequence of
+(layer, message-slot) invocations a service step performs — and hence
+the full reference stream it pushes through each cache — is a pure
+function of the batch composition (which ring buffer holds which
+message size).  The engine compiles that into a
+:class:`repro.cache.chunked.SegmentedAccessPlan` per cache plus a
+per-invocation cost-addend layout, cached by composition key.  The ring
+of 32 buffers and the bounded batch cap keep the key space small, so
+steady state replays cached templates.
+
+*Dynamic replay.*  Applying a template is ~15 numpy ops: gather the
+live tags for first-touched sets, compare, scatter the final tags,
+turn per-segment miss counts into stall addends, and one ``cumsum``
+over the flat addend array.  ``cumsum`` accumulates strictly
+left-to-right, so seeding slot 0 with the current cycle counter
+reproduces the scalar engine's float-addition *order* — which is what
+makes the cycle counts (and therefore every latency sample) bit-exact,
+not merely close.
+
+Equivalence boundaries
+----------------------
+The engine silently declines (:func:`try_drive_vec` returns ``None``,
+the caller falls back to the scalar loop) whenever exact replay is not
+guaranteed: unbound schedulers, non-passthrough layers (stateful
+stacks), an L2 hierarchy, layers whose code working set conflicts with
+itself in the instruction cache (the static template would be unsound —
+see :class:`~repro.cache.chunked.UnsupportedPlanError`), or a span-keeping
+obs recorder (the vec path does not emit per-layer ``invoke`` spans,
+only the drive-level counters and ``service_step`` spans the harness
+consumes; full tracing keeps the scalar path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.cache import DirectMappedCache
+from ..cache.chunked import SegmentedAccessPlan
+from ..core.layer import Message, PassthroughLayer
+from ..core.scheduler import (
+    ConventionalScheduler,
+    GroupedLDLPScheduler,
+    ILPScheduler,
+    LDLPScheduler,
+    Scheduler,
+    take_batch,
+)
+from ..errors import ConfigurationError
+from ..machine.executor import FootprintExecutor, MessageBuffer
+from ..obs.runtime import active_recorder, machine_counters
+from .runner import DriveStats
+from .stats import LatencyRecorder
+
+#: Columnar arrival stream: one row per message, CPU-cycle timestamp
+#: plus message size (the two columns admission and templating need).
+ARRIVAL_DTYPE = np.dtype([("cycle", np.float64), ("size", np.int64)])
+
+#: Cost-addend slots per invocation in a step template (istall, layer
+#: data stall, message-buffer stall, execute, trailing execute).
+_SLOTS = 5
+
+
+def arrival_table(arrivals: list[tuple[float, "Message"]], hz: float) -> np.ndarray:
+    """Build the columnar arrival table from timestamped messages.
+
+    ``cycle`` is ``time * hz`` computed elementwise in float64 —
+    bit-identical to the scalar path's per-arrival
+    :meth:`repro.units.Clock.seconds_to_cycles`.
+    """
+    table = np.zeros(len(arrivals), dtype=ARRIVAL_DTYPE)
+    if len(arrivals) > 0:
+        times = np.asarray([time for time, _ in arrivals], dtype=np.float64)
+        table["cycle"] = times * hz
+        table["size"] = np.asarray(
+            [message.size for _, message in arrivals], dtype=np.int64
+        )
+    return table
+
+
+class _StepTemplate:
+    """Compiled cache plans + cost layout for one batch composition."""
+
+    __slots__ = (
+        "iplan", "dplan", "addends", "ipos", "dpos", "completions"
+    )
+
+    def __init__(
+        self,
+        iplan: SegmentedAccessPlan,
+        dplan: SegmentedAccessPlan,
+        addends: np.ndarray,
+        ipos: np.ndarray,
+        dpos: np.ndarray,
+        completions: list[tuple[int, int]],
+    ) -> None:
+        self.iplan = iplan
+        self.dplan = dplan
+        #: Flat addend array: slot 0 = live cycle counter, then _SLOTS
+        #: per invocation; cumsum replays the scalar addition order.
+        self.addends = addends
+        self.ipos = ipos
+        self.dpos = dpos
+        #: (message slot, addend index of its completion cycle) pairs
+        #: in scalar completion order.
+        self.completions = completions
+
+
+def _distinct_sets(lines: np.ndarray, num_lines: int) -> bool:
+    """True when the line array maps to all-distinct cache sets."""
+    if lines.size == 0:
+        return True
+    return int(np.unique(lines % num_lines).size) == int(lines.size)
+
+
+class _VecEngine:
+    """Per-drive-call state of the vectorized service path."""
+
+    def __init__(self, scheduler: Scheduler, kind: str) -> None:
+        self.scheduler = scheduler
+        self.kind = kind
+        binding = scheduler.binding
+        assert binding is not None
+        self.binding = binding
+        self.cpu = binding.cpu
+        hierarchy = self.cpu.hierarchy
+        self.icache = hierarchy.icache
+        self.dcache = hierarchy.dcache
+        self.miss_penalty = int(binding.spec.miss_penalty)
+        efficiency = float(binding.spec.iprefetch_efficiency)
+        self.iprefetch_scale = (1.0 - efficiency) if efficiency else None
+        self.placed = [
+            binding.placed_layer(layer.name) for layer in scheduler.layers
+        ]
+        self.extra_per_byte = sum(
+            layer.footprint.per_byte_cycles for layer in scheduler.layers[1:]
+        )
+        self.groups = (
+            scheduler.groups if isinstance(scheduler, GroupedLDLPScheduler) else None
+        )
+        self._templates: dict[tuple[tuple[int, int], ...], _StepTemplate] = {}
+
+    # ------------------------------------------------------------------
+    # Template compilation
+
+    def _invocations(self, sizes: list[int]) -> list[tuple[int, int, bool, float]]:
+        """The step's (layer, slot, include_data, trailing_execute) list.
+
+        Mirrors each scalar scheduler's invocation order exactly (the
+        order determines cache behaviour — it is the paper's whole
+        subject): conventional/ILP are message-major, LDLP is
+        layer-major over the batch, grouped is group-major with one
+        queue hop per group.
+        """
+        num_layers = len(self.placed)
+        queue_cost = float(FootprintExecutor.QUEUE_INSTRUCTIONS)
+        if self.kind == "conventional":
+            return [(index, 0, True, 0.0) for index in range(num_layers)]
+        if self.kind == "ilp":
+            program = [(0, 0, True, self.extra_per_byte * sizes[0])]
+            program += [(index, 0, False, 0.0) for index in range(1, num_layers)]
+            return program
+        if self.kind == "ldlp":
+            return [
+                (layer_index, slot, True, queue_cost)
+                for layer_index in range(num_layers)
+                for slot in range(len(sizes))
+            ]
+        assert self.groups is not None
+        program = []
+        for members in self.groups:
+            for slot in range(len(sizes)):
+                for position, layer_index in enumerate(members):
+                    program.append(
+                        (layer_index, slot, True,
+                         queue_cost if position == 0 else 0.0)
+                    )
+        return program
+
+    def _completion_points(
+        self, batch: int, invocations: int
+    ) -> list[tuple[int, int]]:
+        """Per-message completion (slot, addend index) in scalar order."""
+        num_layers = len(self.placed)
+        if self.kind in ("conventional", "ilp"):
+            return [(0, _SLOTS * invocations)]
+        if self.kind == "ldlp":
+            first_top = (num_layers - 1) * batch
+            return [
+                (slot, _SLOTS * (first_top + slot) + _SLOTS)
+                for slot in range(batch)
+            ]
+        assert self.groups is not None
+        last = len(self.groups[-1])
+        offset = batch * sum(len(members) for members in self.groups[:-1])
+        return [
+            (slot, _SLOTS * (offset + slot * last + last - 1) + _SLOTS)
+            for slot in range(batch)
+        ]
+
+    def _compile(
+        self, sizes: list[int], buffers: list[MessageBuffer]
+    ) -> _StepTemplate:
+        program = self._invocations(sizes)
+        count = len(program)
+        code_segments: list[np.ndarray] = []
+        data_segments: list[np.ndarray] = []
+        addends = np.zeros(1 + _SLOTS * count)
+        base = _SLOTS * np.arange(count, dtype=np.int64)
+        for position, (layer_index, slot, include_data, trailing) in enumerate(
+            program
+        ):
+            placed = self.placed[layer_index]
+            code_segments.append(placed.code_lines)
+            data_segments.append(placed.data_lines)
+            if include_data:
+                buffer = buffers[slot]
+                size = min(sizes[slot], buffer.capacity)
+                data_segments.append(
+                    buffer.lines_for(size) if size > 0 else placed.data_lines[:0]
+                )
+                addends[_SLOTS * position + 4] = placed.profile.compute_cycles(
+                    sizes[slot]
+                )
+            else:
+                data_segments.append(placed.data_lines[:0])
+                addends[_SLOTS * position + 4] = placed.profile.base_cycles
+            addends[_SLOTS * position + 5] = trailing
+        dpos = np.empty(2 * count, dtype=np.int64)
+        dpos[0::2] = base + 2
+        dpos[1::2] = base + 3
+        iplan = SegmentedAccessPlan(
+            np.concatenate(code_segments) if code_segments else
+            np.empty(0, dtype=np.int64),
+            np.cumsum([0] + [seg.size for seg in code_segments]),
+            self.icache.num_lines,
+        )
+        dplan = SegmentedAccessPlan(
+            np.concatenate(data_segments) if data_segments else
+            np.empty(0, dtype=np.int64),
+            np.cumsum([0] + [seg.size for seg in data_segments]),
+            self.dcache.num_lines,
+        )
+        return _StepTemplate(
+            iplan,
+            dplan,
+            addends,
+            base + 1,
+            dpos,
+            self._completion_points(len(sizes), count),
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic replay
+
+    def step(self) -> list[tuple[Message, float]]:
+        """Run one service step; returns (message, completion cycle)."""
+        scheduler = self.scheduler
+        if self.kind in ("conventional", "ilp"):
+            batch = [scheduler.input_queue.popleft()]
+        else:
+            batch = take_batch(scheduler)  # type: ignore[arg-type]
+            if not batch:
+                return []
+        buffers = [self.binding.buffer_of(message) for message in batch]
+        sizes = [message.size for message in batch]
+        key = tuple(
+            (buffer.index, size) for buffer, size in zip(buffers, sizes)
+        )
+        template = self._templates.get(key)
+        if template is None:
+            template = self._compile(sizes, buffers)
+            self._templates[key] = template
+        cpu = self.cpu
+        imiss = template.iplan.apply(self.icache.tag_array, self.icache.stats)
+        dmiss = template.dplan.apply(self.dcache.tag_array, self.dcache.stats)
+        istall = imiss * self.miss_penalty
+        if self.iprefetch_scale is not None:
+            # round() and np.rint both round half to even, so the
+            # per-call prefetch discount truncates identically.
+            istall = np.rint(istall * self.iprefetch_scale)
+        dstall = dmiss * self.miss_penalty
+        addends = template.addends
+        addends[0] = cpu.cycles
+        addends[template.ipos] = istall
+        addends[template.dpos] = dstall
+        timeline = np.cumsum(addends)
+        cpu.cycles = float(timeline[-1])
+        cpu.stall_cycles += float(istall.sum() + dstall.sum())
+        return [
+            (batch[slot], float(timeline[index]))
+            for slot, index in template.completions
+        ]
+
+
+def vec_supported(scheduler: Scheduler) -> bool:
+    """Whether the vectorized engine can replay this scheduler exactly.
+
+    Checks everything static: scheduler kind, pure passthrough layers,
+    a bound flat (no-L2) direct-mapped hierarchy, and self-conflict-free
+    code/data/buffer placements (the static-template soundness
+    condition).  Dynamic conditions (a span-keeping recorder) are
+    checked by :func:`try_drive_vec` per call.
+    """
+    kind = _scheduler_kind(scheduler)
+    if kind is None:
+        return False
+    binding = scheduler.binding
+    if binding is None or not binding.bound:
+        return False
+    if binding.spec.l2 is not None:
+        return False
+    hierarchy = binding.cpu.hierarchy
+    if type(hierarchy.icache) is not DirectMappedCache:
+        return False
+    if type(hierarchy.dcache) is not DirectMappedCache:
+        return False
+    for layer in scheduler.layers:
+        if type(layer) is not PassthroughLayer:
+            return False
+    icache_sets = hierarchy.icache.num_lines
+    dcache_sets = hierarchy.dcache.num_lines
+    for layer in scheduler.layers:
+        placed = binding.placed_layer(layer.name)
+        if not _distinct_sets(placed.code_lines, icache_sets):
+            return False
+        if not _distinct_sets(placed.data_lines, dcache_sets):
+            return False
+    pool = binding.pool
+    if pool is None:
+        return False
+    for buffer in pool.buffers:
+        if not _distinct_sets(buffer.lines_for(buffer.capacity), dcache_sets):
+            return False
+    return True
+
+
+def _scheduler_kind(scheduler: Scheduler) -> str | None:
+    """The template kind for a scheduler, or None if unsupported.
+
+    Exact-type checks: a subclass may override service semantics, and
+    silently vectorizing it would break the scalar≡vec contract.
+    """
+    for cls, kind in (
+        (ConventionalScheduler, "conventional"),
+        (ILPScheduler, "ilp"),
+        (LDLPScheduler, "ldlp"),
+        (GroupedLDLPScheduler, "grouped"),
+    ):
+        if type(scheduler) is cls:
+            return kind
+    return None
+
+
+def try_drive_vec(
+    scheduler: Scheduler,
+    arrivals: list[tuple[float, Message]],
+    flush_period_cycles: float | None = None,
+) -> DriveStats | None:
+    """Vectorized twin of :func:`repro.sim.runner.drive`.
+
+    Returns ``None`` (caller falls back to the scalar loop) when the
+    configuration is outside the engine's exact-replay envelope; see
+    the module docstring for the boundaries.  When it does run, the
+    returned :class:`~repro.sim.runner.DriveStats`, all cache/CPU
+    statistics, and all obs counters are bit-identical to the scalar
+    path's.
+    """
+    recorder = active_recorder()
+    if recorder is not None and recorder.keep_spans:
+        # Full tracing wants the per-layer invoke spans only the scalar
+        # path emits.
+        return None
+    if not vec_supported(scheduler):
+        return None
+    engine = _VecEngine(scheduler, _scheduler_kind(scheduler) or "")
+    if flush_period_cycles is not None and flush_period_cycles <= 0:
+        raise ConfigurationError("cache-flush period must be positive")
+    cpu = engine.cpu
+    clock = cpu.clock
+    next_flush = flush_period_cycles
+    table = arrival_table(arrivals, clock.hz)
+    cycles_column = table["cycle"]
+    messages = [message for _, message in arrivals]
+    latency = LatencyRecorder()
+    index = 0
+    total = len(messages)
+    completed = 0
+    service_cycles = 0.0
+    while index < total or scheduler.busy:
+        if not scheduler.busy:
+            if index >= total:
+                break
+            cpu.advance_to_cycle(float(cycles_column[index]))
+        while index < total and cycles_column[index] <= cpu.cycles:
+            message = messages[index]
+            message.meta["arrival_cycle"] = float(cycles_column[index])
+            drops_before = scheduler.drops
+            scheduler.enqueue_arrival(message)
+            if recorder is not None:
+                recorder.count("messages.arrivals")
+                lost = scheduler.drops - drops_before
+                if lost:
+                    recorder.count("messages.drops", float(lost))
+                    recorder.instant(
+                        "scheduler", "drop", cpu.cycles, size=message.size
+                    )
+            index += 1
+        if scheduler.busy:
+            before = cpu.cycles
+            handle = (
+                recorder.begin(
+                    "scheduler",
+                    "service_step",
+                    cpu.cycles,
+                    machine_counters(cpu),
+                    pending_messages=scheduler.pending(),
+                )
+                if recorder is not None
+                else None
+            )
+            completions = engine.step()
+            if recorder is not None and handle is not None:
+                handle.args["completions"] = len(completions)
+                recorder.end(handle, cpu.cycles)
+                recorder.count("scheduler.service_steps")
+                recorder.count("messages.completions", float(len(completions)))
+            for message, completion_cycle in completions:
+                arrival_cycle = message.meta.get("arrival_cycle")
+                if arrival_cycle is None:
+                    continue
+                completed += 1
+                latency.record(
+                    clock.cycles_to_seconds(completion_cycle - arrival_cycle)
+                )
+            service_cycles += cpu.cycles - before
+            if next_flush is not None and cpu.cycles >= next_flush:
+                cpu.cold_start()
+                if recorder is not None:
+                    recorder.count("faults.cache_flushes")
+                    recorder.instant("scheduler", "cache_flush", cpu.cycles)
+                while next_flush <= cpu.cycles:
+                    next_flush += flush_period_cycles
+    return DriveStats(
+        latency=latency, completed=completed, service_cycles=service_cycles
+    )

@@ -21,8 +21,12 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pytest
+
 from repro.cache.cache import DirectMappedCache, SetAssociativeCache
+from repro.cache.chunked import SegmentedAccessPlan, UnsupportedPlanError, unit_plan
 from repro.cache.hierarchy import CacheGeometry, MachineSpec, SplitCacheHierarchy
+from repro.errors import ConfigurationError
 
 #: Small geometries keep traces interesting (evictions actually happen).
 SIZES = st.sampled_from([256, 512, 1024])
@@ -141,6 +145,156 @@ def test_one_way_equals_direct_mapped(size, line_size, accesses):
     assert direct.stats.misses == assoc.stats.misses
     assert direct.stats.hits == assoc.stats.hits
     assert direct.resident_lines() == assoc.resident_lines()
+
+
+# ----------------------------------------------------------------------
+# Chunked (vectorized) kernels: repro.cache.chunked
+
+#: Line streams with heavy set reuse (small line-number range) so the
+#: chunked kernels see repeats, conflicts, and evictions.
+LINE_STREAMS = st.lists(st.integers(0, 96), min_size=0, max_size=120)
+
+#: The satellite chunk sizes: degenerate (1), odd (7), typical (64),
+#: and the whole stream at once (None).
+CHUNK_SIZES = st.sampled_from([1, 7, 64, None])
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, lines=LINE_STREAMS, chunk=CHUNK_SIZES)
+def test_stream_path_matches_scalar_path(size, line_size, lines, chunk):
+    """access_stream ≡ an access_line loop: same per-position miss
+    mask, same counters, same resident lines — for every chunk size."""
+    stream = np.asarray(lines, dtype=np.int64)
+    fast = DirectMappedCache(size, line_size)
+    slow = DirectMappedCache(size, line_size)
+    mask = fast.access_stream(stream, chunk_size=chunk)
+    expected = [slow.access_line(int(line)) for line in lines]
+    assert mask.tolist() == expected
+    assert fast.stats.misses == slow.stats.misses
+    assert fast.stats.hits == slow.stats.hits
+    assert fast.stats.evictions == slow.stats.evictions
+    assert fast.resident_lines() == slow.resident_lines()
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, lines=LINE_STREAMS)
+def test_stream_invariant_under_chunk_size(size, line_size, lines):
+    """Chunking is purely an implementation knob: every chunk size
+    (1, 7, 64, whole-stream) produces identical masks and state."""
+    stream = np.asarray(lines, dtype=np.int64)
+    reference = DirectMappedCache(size, line_size)
+    ref_mask = reference.access_stream(stream, chunk_size=None)
+    for chunk in (1, 7, 64):
+        cache = DirectMappedCache(size, line_size)
+        mask = cache.access_stream(stream, chunk_size=chunk)
+        assert np.array_equal(mask, ref_mask)
+        assert cache.stats.misses == reference.stats.misses
+        assert cache.stats.hits == reference.stats.hits
+        assert cache.stats.evictions == reference.stats.evictions
+        assert cache.resident_lines() == reference.resident_lines()
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, lines=LINE_STREAMS, chunk=CHUNK_SIZES)
+def test_chunked_counters_sane(size, line_size, lines, chunk):
+    """misses ≤ accesses (and hits + misses == accesses) on the
+    chunked path, matching the scalar counter-sanity property."""
+    cache = DirectMappedCache(size, line_size)
+    cache.access_stream(np.asarray(lines, dtype=np.int64), chunk_size=chunk)
+    stats = cache.stats
+    assert stats.accesses == len(lines)
+    assert stats.misses <= stats.accesses
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.evictions <= stats.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, lines=LINE_STREAMS, chunk=CHUNK_SIZES)
+def test_chunked_l2_bounded_by_l1_misses(size, line_size, lines, chunk):
+    """Feeding the chunked path's missed lines to a next-level cache
+    keeps the hierarchy invariant: L2 accesses ≤ L1 misses."""
+    l1 = DirectMappedCache(size, line_size)
+    l2 = DirectMappedCache(4 * size, line_size)
+    stream = np.asarray(lines, dtype=np.int64)
+    mask = l1.access_stream(stream, chunk_size=chunk)
+    missed = stream[mask]
+    l2.access_stream(missed, chunk_size=chunk)
+    assert l2.stats.accesses == int(mask.sum())
+    assert l2.stats.accesses <= l1.stats.misses
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, lines=LINE_STREAMS)
+def test_segmented_plan_matches_call_parallel_path(size, line_size, lines):
+    """A segmented plan over random segment boundaries reproduces the
+    scalar per-call access_line_array_report path, provided no segment
+    repeats a set (the plan's declared soundness condition)."""
+    cache_sets = size // line_size
+    stream = np.asarray(lines, dtype=np.int64)
+    # Split the stream at arbitrary fixed boundaries, then drop
+    # in-segment set repeats so the plan is supported.
+    pieces = [stream[start : start + 5] for start in range(0, stream.size, 5)]
+    segments = []
+    for piece in pieces:
+        sets = piece % cache_sets
+        _, first_index = np.unique(sets, return_index=True)
+        segments.append(piece[np.sort(first_index)])
+    flat = (
+        np.concatenate(segments) if segments else np.empty(0, dtype=np.int64)
+    )
+    offsets = np.cumsum([0] + [seg.size for seg in segments])
+    planned = DirectMappedCache(size, line_size)
+    scalar = DirectMappedCache(size, line_size)
+    plan = SegmentedAccessPlan(flat, offsets, cache_sets)
+    per_segment = plan.apply(planned._tags, planned.stats)
+    for index, segment in enumerate(segments):
+        missed = scalar.access_line_array_report(segment)
+        assert int(per_segment[index]) == int(missed.size)
+    assert planned.stats.misses == scalar.stats.misses
+    assert planned.stats.hits == scalar.stats.hits
+    assert planned.stats.evictions == scalar.stats.evictions
+    assert planned.resident_lines() == scalar.resident_lines()
+
+
+def test_segmented_plan_rejects_in_segment_set_repeat():
+    """Two same-set positions in one segment defeat the static
+    template; the plan must refuse rather than silently diverge."""
+    with pytest.raises(UnsupportedPlanError):
+        SegmentedAccessPlan(
+            np.asarray([3, 3 + 8], dtype=np.int64),
+            np.asarray([0, 2], dtype=np.int64),
+            8,
+        )
+    # The same two lines in separate segments are fine.
+    plan = SegmentedAccessPlan(
+        np.asarray([3, 3 + 8], dtype=np.int64),
+        np.asarray([0, 1, 2], dtype=np.int64),
+        8,
+    )
+    assert plan.size == 2
+
+
+def test_access_stream_validates_inputs():
+    cache = DirectMappedCache(256, 32)
+    with pytest.raises(ConfigurationError):
+        cache.access_stream(np.asarray([-1], dtype=np.int64))
+    with pytest.raises(ConfigurationError):
+        cache.access_stream(np.asarray([1], dtype=np.int64), chunk_size=0)
+
+
+def test_access_stream_empty_and_singleton():
+    """The zero-length and length-1 degenerate streams (the PR 4
+    truthiness bug class) behave exactly like the scalar loop."""
+    cache = DirectMappedCache(256, 32)
+    empty = cache.access_stream(np.empty(0, dtype=np.int64))
+    assert empty.shape == (0,) and empty.dtype == bool
+    assert cache.stats.accesses == 0
+    single = cache.access_stream(np.asarray([5], dtype=np.int64))
+    assert single.tolist() == [True]
+    assert cache.access_stream(np.asarray([5], dtype=np.int64)).tolist() == [
+        False
+    ]
+    assert unit_plan(np.empty(0, dtype=np.int64), 8).size == 0
 
 
 @settings(max_examples=40, deadline=None)
