@@ -67,7 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "check every experiment's sweep-point import closure against "
-            "its declared cache sources (HARN001)"
+            "its declared cache sources (HARN001) and dispatch-policy "
+            "sweep coverage (HARN002)"
         ),
     )
     parser.add_argument(
@@ -124,7 +125,7 @@ def run(args: argparse.Namespace) -> tuple[list[Finding], dict[str, object]]:
         findings.extend(harness_findings)
         summaries["harness"] = {
             "experiments_checked": True,
-            "undeclared_sources": len(harness_findings),
+            "harn_findings": len(harness_findings),
         }
     if args.determinism:
         from .detcheck import check_determinism

@@ -140,6 +140,15 @@ RULES: dict[str, Rule] = {
             "cached results (stale cache hits).",
         ),
         Rule(
+            "HARN002",
+            "unexercised-dispatch-policy",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "A dispatch policy registered in repro.core.dispatch is not "
+            "exercised by any multicore sweep point at any scale; its "
+            "behaviour would drift unpinned by the golden gate.",
+        ),
+        Rule(
             "MBUF003",
             "mbuf-leak",
             Severity.WARNING,

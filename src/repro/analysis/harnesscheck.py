@@ -240,11 +240,61 @@ def check_spec(spec: SweepSpec) -> list[Finding]:
     ]
 
 
+def check_dispatch_coverage() -> list[Finding]:
+    """HARN002 findings: dispatch policies no multicore sweep exercises.
+
+    The ``multicore`` experiment's golden gate only pins the behaviour
+    of dispatch policies its sweep actually runs.  A policy registered
+    in :data:`repro.core.dispatch.DISPATCH_POLICIES` but absent from
+    every scale's sweep points could change behaviour without tripping
+    any golden — so every registered policy must appear as the
+    ``dispatch`` parameter of at least one point at some scale.
+    """
+    from ..core.dispatch import DISPATCH_POLICIES
+    from ..harness.registry import get_spec
+
+    spec = get_spec("multicore")
+    exercised: set[str] = set()
+    for scale in SCALES:
+        try:
+            points = spec.points_for(scale)
+        except (KeyError, ConfigurationError):
+            continue
+        for point in points:
+            name = point.params.get("dispatch")
+            if name is not None:
+                exercised.add(str(name))
+    missing = sorted(set(DISPATCH_POLICIES) - exercised)
+    return [
+        Finding(
+            rule_id="HARN002",
+            message=(
+                f"dispatch policy {name!r} is registered in "
+                f"repro.core.dispatch.DISPATCH_POLICIES but exercised by "
+                f"no multicore sweep point at any scale — its behaviour "
+                f"is unpinned by the golden gate "
+                f"(exercised: {', '.join(sorted(exercised)) or 'none'})"
+            ),
+            target="experiment:multicore",
+            details={
+                "policy": name,
+                "exercised": sorted(exercised),
+            },
+        )
+        for name in missing
+    ]
+
+
 def check_all_specs() -> list[Finding]:
-    """HARN001 findings across every registered experiment."""
+    """HARN findings across every registered experiment.
+
+    HARN001 (undeclared cache sources) for each spec, plus HARN002
+    (dispatch-policy sweep coverage) for the multicore experiment.
+    """
     from ..harness.registry import all_specs
 
     findings: list[Finding] = []
     for spec in all_specs():
         findings.extend(check_spec(spec))
+    findings.extend(check_dispatch_coverage())
     return findings

@@ -8,6 +8,8 @@
 * :class:`BatchPolicy` — "as many messages as fit in the data cache";
 * :class:`DropPolicy` — pluggable input-buffer overload behaviour
   (tail/head/early drop, adaptive batch backoff);
+* :class:`DispatchPolicy` — pluggable receive-side dispatch steering
+  arrivals onto cores (flow-hash RSS, application-defined, LDLP-aware);
 * :mod:`repro.core.blocking` — off-line blocked processing and
   blocking-factor estimation;
 * :class:`MachineBinding` — attaches a stack to the simulated machine.
@@ -15,6 +17,16 @@
 
 from .batching import BatchPolicy
 from .binding import BUFFER_KEY, MachineBinding
+from .dispatch import (
+    APP_CLASS_KEY,
+    DISPATCH_POLICIES,
+    FLOW_KEY,
+    AppDefinedDispatch,
+    DispatchPolicy,
+    FlowHashRSS,
+    LDLPAwareDispatch,
+    make_dispatch_policy,
+)
 from .overload import (
     DROP_POLICIES,
     AdaptiveBatchBackoff,
@@ -51,18 +63,25 @@ from .scheduler import (
 )
 
 __all__ = [
+    "APP_CLASS_KEY",
     "BUFFER_KEY",
     "AdaptiveBatchBackoff",
+    "AppDefinedDispatch",
     "BatchPolicy",
     "BlockingEstimate",
     "Completion",
     "ConventionalScheduler",
+    "DISPATCH_POLICIES",
     "DROP_POLICIES",
+    "DispatchPolicy",
     "DropPolicy",
+    "FLOW_KEY",
+    "FlowHashRSS",
     "GroupedLDLPScheduler",
     "CountingLayer",
     "HeadDrop",
     "ILPScheduler",
+    "LDLPAwareDispatch",
     "LDLPScheduler",
     "Layer",
     "LayerFootprint",
@@ -73,6 +92,7 @@ __all__ = [
     "Scheduler",
     "SinkLayer",
     "TailDrop",
+    "make_dispatch_policy",
     "make_drop_policy",
     "blocked_schedule",
     "conventional_schedule",

@@ -43,6 +43,7 @@ from . import (
     figure7,
     figure8,
     motivation,
+    multicore,
     schedules,
     table1,
     table2,
@@ -65,6 +66,7 @@ EXPERIMENTS = {
     "ablations": lambda args: ablations.main(),
     "schedules": lambda args: schedules.main(),
     "motivation": lambda args: print(motivation.run().render()),
+    "multicore": lambda args: multicore.main(),
     "analyze": lambda args: _analyze(args),
 }
 

@@ -27,6 +27,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "ablations": "repro.experiments.ablations",
     "schedules": "repro.experiments.schedules",
     "faults": "repro.faults.campaigns",
+    "multicore": "repro.experiments.multicore",
 }
 
 

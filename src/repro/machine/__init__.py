@@ -1,4 +1,5 @@
-"""The simulated machine: regions, layout, CPU cost model, executor."""
+"""The simulated machine: regions, layout, CPU cost model, executor,
+and the N-core topology (:mod:`repro.machine.multicore`)."""
 
 from .cpu import CPU
 from .executor import (
@@ -9,6 +10,7 @@ from .executor import (
     PlacedLayer,
 )
 from .layout import DEFAULT_SPAN, MemoryLayout
+from .multicore import MultiCoreMachine, MultiCoreSpec
 from .program import Program, Region, RegionKind
 
 __all__ = [
@@ -19,6 +21,8 @@ __all__ = [
     "FootprintExecutor",
     "MemoryLayout",
     "MessageBuffer",
+    "MultiCoreMachine",
+    "MultiCoreSpec",
     "PlacedLayer",
     "Program",
     "Region",

@@ -1,0 +1,170 @@
+"""The multi-core machine: N modeled CPUs behind one shared L2.
+
+The paper's machine (Section 4) is a single 100 MHz CPU with split 8 KB
+primary caches.  This module generalizes it to the topology every
+modern small-message server runs: ``num_cores`` copies of that CPU,
+each with *private* I/D primaries, optionally backed by one *shared*
+unified L2 that all cores probe — "ultimately the execution rate is
+bounded by the second level cache bandwidth" holds per package, not per
+core.  Each core keeps its own cycle clock and miss statistics, so
+per-core miss attribution (``repro.obs``) falls out of the same
+counters the single-core model already exposes.
+
+Which core a message lands on is decided *above* this module by a
+:class:`repro.core.dispatch.DispatchPolicy`; the machine model only
+provides the cores and their shared memory-side state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..cache.cache import DirectMappedCache
+from ..cache.hierarchy import CacheGeometry, MachineSpec
+from ..errors import ConfigurationError
+from .cpu import CPU
+
+
+@dataclass(frozen=True)
+class MultiCoreSpec:
+    """Static description of an N-core machine.
+
+    Attributes
+    ----------
+    num_cores:
+        Core count; 1 reproduces the paper's single-CPU model exactly.
+    core:
+        The per-core machine description (clock, private I/D caches,
+        miss penalty) — each core gets an identical private copy.
+    shared_l2:
+        Geometry of one unified second-level cache shared by every
+        core, or ``None`` for the paper's flat model (every primary
+        miss costs ``core.miss_penalty``).  When set, a primary miss
+        that hits the shared L2 stalls ``core.miss_penalty`` cycles and
+        a miss in both levels ``core.memory_penalty`` cycles.
+    """
+
+    num_cores: int = 4
+    core: MachineSpec = field(default_factory=MachineSpec)
+    shared_l2: CacheGeometry | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigurationError(
+                f"core count must be >= 1, got {self.num_cores}"
+            )
+        if self.core.l2 is not None:
+            raise ConfigurationError(
+                "per-core L2 and MultiCoreSpec cannot be combined; model "
+                "the second level via shared_l2"
+            )
+        if self.shared_l2 is not None:
+            for primary in (self.core.icache, self.core.dcache):
+                if self.shared_l2.line_size != primary.line_size:
+                    raise ConfigurationError(
+                        "shared L2 line size must match the primary caches"
+                    )
+                if self.shared_l2.size < primary.size:
+                    raise ConfigurationError(
+                        "shared L2 must be at least as large as each "
+                        "primary cache"
+                    )
+
+    def core_spec(self) -> MachineSpec:
+        """The effective per-core :class:`MachineSpec`.
+
+        With a shared L2 configured, each core's spec carries the L2
+        geometry so its hierarchy charges the two-level penalties; the
+        actual cache *state* is then replaced by the one shared
+        instance (:class:`MultiCoreMachine` does the rewiring).
+        """
+        if self.shared_l2 is None:
+            return self.core
+        return replace(self.core, l2=self.shared_l2)
+
+    def describe(self) -> dict[str, Any]:
+        """Static description for offline analysis and reports."""
+        return {
+            "num_cores": self.num_cores,
+            "clock_hz": self.core.clock_hz,
+            "icache": self.core.icache.describe(),
+            "dcache": self.core.dcache.describe(),
+            "miss_penalty": self.core.miss_penalty,
+            "shared_l2": (
+                self.shared_l2.describe() if self.shared_l2 is not None else None
+            ),
+        }
+
+
+class MultiCoreMachine:
+    """Live state of an N-core machine: per-core CPUs, one shared L2.
+
+    Each :class:`~repro.machine.cpu.CPU` owns private I/D cache state
+    and its own cycle clock; when the spec configures a shared L2, all
+    per-core hierarchies are rewired to probe the *same*
+    :class:`~repro.cache.cache.DirectMappedCache` instance, so one
+    core's refills evict another's L2 lines — shared-level contention
+    is modeled for free.
+    """
+
+    def __init__(self, spec: MultiCoreSpec | None = None) -> None:
+        self.spec = spec or MultiCoreSpec()
+        core_spec = self.spec.core_spec()
+        self.cpus = [CPU(core_spec) for _ in range(self.spec.num_cores)]
+        self.shared_l2: DirectMappedCache | None = None
+        if self.spec.shared_l2 is not None:
+            self.shared_l2 = self.spec.shared_l2.build()
+            for cpu in self.cpus:
+                cpu.hierarchy.l2 = self.shared_l2
+
+    @property
+    def num_cores(self) -> int:
+        """Number of modeled cores."""
+        return len(self.cpus)
+
+    def core(self, index: int) -> CPU:
+        """The CPU of one core, by index."""
+        return self.cpus[index]
+
+    def reset(self) -> None:
+        """Zero every core's time and statistics; flush all caches."""
+        for cpu in self.cpus:
+            cpu.reset()
+        if self.shared_l2 is not None:
+            self.shared_l2.flush()
+            self.shared_l2.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+
+    @property
+    def icache_misses(self) -> int:
+        """Instruction-cache misses summed over every core."""
+        return sum(cpu.icache_misses for cpu in self.cpus)
+
+    @property
+    def dcache_misses(self) -> int:
+        """Data-cache misses summed over every core."""
+        return sum(cpu.dcache_misses for cpu in self.cpus)
+
+    def per_core_counters(self) -> list[dict[str, float]]:
+        """Per-core miss/cycle attribution, one dict per core.
+
+        The names match :func:`repro.obs.runtime.machine_counters`, so
+        obs sinks and the multi-core experiment report attribute misses
+        to cores with the same vocabulary as single-core spans.
+        """
+        return [
+            {
+                "cycles": float(cpu.cycles),
+                "stall_cycles": float(cpu.stall_cycles),
+                "icache_misses": float(cpu.icache_misses),
+                "dcache_misses": float(cpu.dcache_misses),
+            }
+            for cpu in self.cpus
+        ]
+
+    def describe(self) -> dict[str, Any]:
+        """Static machine description (delegates to the spec)."""
+        return self.spec.describe()

@@ -1,8 +1,19 @@
-"""Discrete-event simulation: engine, queues, statistics, and the
-Section-4 synthetic benchmark runner."""
+"""Discrete-event simulation: engine, queues, statistics, the
+Section-4 synthetic benchmark runner, and its multi-core
+generalization (:mod:`repro.sim.multicore`)."""
 
 from .engine import Simulator
 from .events import Event, EventQueue
+from .multicore import (
+    CoreStats,
+    MultiCoreConfig,
+    MultiCoreRunResult,
+    drive_multicore,
+    merge_multicore_results,
+    multicore_point,
+    run_multicore,
+    run_multicore_averaged,
+)
 from .queues import BoundedQueue
 from .runner import (
     ComparisonResult,
@@ -27,8 +38,10 @@ from .vec import arrival_table, try_drive_vec, vec_supported
 
 __all__ = [
     "BoundedQueue",
+    "CoreStats",
     "DriveStats",
     "drive",
+    "drive_multicore",
     "ComparisonResult",
     "ENGINE_NAMES",
     "Event",
@@ -37,14 +50,20 @@ __all__ = [
     "LatencyRecorder",
     "LatencySummary",
     "MissesPerMessage",
+    "MultiCoreConfig",
+    "MultiCoreRunResult",
     "RunResult",
     "SCHEDULER_NAMES",
     "SimulationConfig",
     "Simulator",
     "build_paper_stack",
     "compare_schedulers",
+    "merge_multicore_results",
     "merge_results",
+    "multicore_point",
     "run_averaged",
+    "run_multicore",
+    "run_multicore_averaged",
     "run_simulation",
     "try_drive_vec",
     "vec_supported",

@@ -1,0 +1,637 @@
+"""Multi-core synthetic benchmark: dispatch stage -> N cores -> stats.
+
+The single-core drive loop (:func:`repro.sim.runner.drive`) generalized
+to the modern topology: a receive-side dispatch stage
+(:mod:`repro.core.dispatch`) steers each arrival onto one of N modeled
+cores (:mod:`repro.machine.multicore`), each running its own scheduler
+instance over private I/D caches, optionally behind one shared L2.
+Admission-time dispatch composes with admission-time drops: the
+dispatcher picks the core *first*, then that core's
+:class:`~repro.core.overload.DropPolicy` decides admission, so every
+drop-policy sweep from :mod:`repro.faults` carries over unchanged.
+
+The drive loop is a deterministic discrete-event merge of per-core CPU
+clocks: the next event is always the earliest of (next arrival, next
+busy core's service step), with ties admitting first — exactly the
+single-core loop's order, which is why a ``num_cores=1`` run reproduces
+:func:`repro.sim.runner.run_simulation` bit-identically for every
+dispatch policy (``tests/test_multicore.py`` pins this).  Multi-core
+runs always use the scalar service-step path; the vectorized engine
+(:mod:`repro.sim.vec`) is a single-core whole-run replay and does not
+apply here.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from ..cache.hierarchy import CacheGeometry, MachineSpec
+from ..core.dispatch import (
+    APP_CLASS_KEY,
+    DISPATCH_POLICIES,
+    FLOW_KEY,
+    DispatchPolicy,
+    make_dispatch_policy,
+)
+from ..core.layer import Message
+from ..core.overload import DROP_POLICIES
+from ..core.scheduler import Scheduler
+from ..errors import ConfigurationError
+from ..machine.multicore import MultiCoreSpec
+from ..obs.runtime import active_recorder, machine_counters
+from ..traffic.base import Arrival, TrafficSource
+from ..traffic.poisson import PoissonSource
+from .runner import SCHEDULER_NAMES, SimulationConfig, build_scheduler
+from .stats import (
+    LatencyRecorder,
+    MissesPerMessage,
+    RunResult,
+    merge_results,
+)
+
+
+@dataclass(frozen=True)
+class MultiCoreConfig:
+    """Configuration of one multi-core benchmark run.
+
+    The per-core knobs (``scheduler``, layer shape, ``input_limit``,
+    ``drop_policy``, ``flush_period_cycles``, buffer geometry) mean
+    exactly what they mean in :class:`~repro.sim.runner.SimulationConfig`
+    — each core gets its own scheduler built from them.  On top of that:
+
+    ``num_cores`` / ``shared_l2``
+        The machine topology (see :class:`repro.machine.multicore.MultiCoreSpec`).
+    ``dispatch``
+        Dispatch-policy registry name (:data:`repro.core.dispatch.DISPATCH_POLICIES`).
+    ``num_flows`` / ``app_classes``
+        The modeled traffic structure the dispatcher keys on: arrivals
+        are tagged with a deterministic flow id in ``0..num_flows-1``
+        and a decoded application class ``flow % app_classes``.
+    """
+
+    scheduler: str = "ldlp"
+    dispatch: str = "rss"
+    num_cores: int = 4
+    num_flows: int = 64
+    app_classes: int = 8
+    num_layers: int = 5
+    layer_code_bytes: int = 6144
+    layer_data_bytes: int = 256
+    layer_base_cycles: float = 1376.0
+    layer_per_byte_cycles: float = 0.5
+    spec: MachineSpec = field(default_factory=MachineSpec)
+    shared_l2: CacheGeometry | None = None
+    duration: float = 0.2
+    input_limit: int = 500
+    batch_limit: int | None = None
+    pool_buffers: int = 32
+    buffer_size: int = 2048
+    random_placement: bool = True
+    drop_policy: str = "tail"
+    flush_period_cycles: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r}; expected one of "
+                f"{SCHEDULER_NAMES}"
+            )
+        if self.dispatch not in DISPATCH_POLICIES:
+            raise ConfigurationError(
+                f"unknown dispatch policy {self.dispatch!r}; expected one "
+                f"of {tuple(sorted(DISPATCH_POLICIES))}"
+            )
+        if self.drop_policy not in DROP_POLICIES:
+            raise ConfigurationError(
+                f"unknown drop policy {self.drop_policy!r}; expected one of "
+                f"{tuple(sorted(DROP_POLICIES))}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.num_flows < 1:
+            raise ConfigurationError("num_flows must be >= 1")
+        if self.app_classes < 1:
+            raise ConfigurationError("app_classes must be >= 1")
+        if self.flush_period_cycles is not None and self.flush_period_cycles <= 0:
+            raise ConfigurationError("cache-flush period must be positive")
+        # Topology validation (core count, shared-L2 geometry).
+        MultiCoreSpec(self.num_cores, self.spec, self.shared_l2)
+
+    def machine_spec(self) -> MultiCoreSpec:
+        """The machine topology this config describes."""
+        return MultiCoreSpec(self.num_cores, self.spec, self.shared_l2)
+
+    def core_config(self) -> SimulationConfig:
+        """The single-core :class:`SimulationConfig` each core is built from."""
+        return SimulationConfig(
+            scheduler=self.scheduler,
+            num_layers=self.num_layers,
+            layer_code_bytes=self.layer_code_bytes,
+            layer_data_bytes=self.layer_data_bytes,
+            layer_base_cycles=self.layer_base_cycles,
+            layer_per_byte_cycles=self.layer_per_byte_cycles,
+            spec=self.machine_spec().core_spec(),
+            duration=self.duration,
+            input_limit=self.input_limit,
+            batch_limit=self.batch_limit,
+            pool_buffers=self.pool_buffers,
+            buffer_size=self.buffer_size,
+            random_placement=self.random_placement,
+            drop_policy=self.drop_policy,
+            flush_period_cycles=self.flush_period_cycles,
+            engine="scalar",
+        )
+
+    def with_dispatch(self, dispatch: str) -> "MultiCoreConfig":
+        """This config with only the dispatch policy swapped."""
+        return replace(self, dispatch=dispatch)
+
+
+def core_seed(seed: int, core: int) -> int:
+    """The placement seed of one core.
+
+    Core 0 uses ``seed`` verbatim — the single-core equivalence anchor —
+    and higher cores derive distinct deterministic seeds (CRC-mixed, no
+    process entropy), so an N-core run samples N independent random code
+    placements, the paper's averaging methodology applied per core.
+    """
+    if core == 0:
+        return int(seed)
+    return zlib.crc32(f"core:{seed}:{core}".encode("utf-8"))
+
+
+def build_cores(config: MultiCoreConfig, seed: int) -> list[Scheduler]:
+    """Build one machine-bound scheduler per core.
+
+    Each core reuses the exact single-core constructor
+    (:func:`repro.sim.runner.build_scheduler`) with its own placement
+    seed; with a shared L2 configured, every core's hierarchy is then
+    rewired to probe one shared cache instance.
+    """
+    base = config.core_config()
+    cores = [
+        build_scheduler(base, core_seed(seed, index))
+        for index in range(config.num_cores)
+    ]
+    if config.shared_l2 is not None:
+        shared = config.shared_l2.build()
+        for scheduler in cores:
+            assert scheduler.binding is not None
+            scheduler.binding.cpu.hierarchy.l2 = shared
+    return cores
+
+
+def tag_flows(
+    messages: list[tuple[float, Message]],
+    seed: int,
+    num_flows: int,
+    app_classes: int,
+) -> None:
+    """Tag each message with its flow id and decoded application class.
+
+    The flow id is a CRC mix of (seed, arrival index) modulo
+    ``num_flows`` — deterministic, PYTHONHASHSEED-independent — and the
+    application class is ``flow % app_classes``, modeling many flows
+    multiplexed over fewer application-level services.  Dispatch
+    policies key on these meta fields (:data:`~repro.core.dispatch.FLOW_KEY`,
+    :data:`~repro.core.dispatch.APP_CLASS_KEY`).
+    """
+    for index, (_, message) in enumerate(messages):
+        flow = zlib.crc32(f"flow:{seed}:{index}".encode("utf-8")) % num_flows
+        message.meta[FLOW_KEY] = int(flow)
+        message.meta[APP_CLASS_KEY] = int(flow % app_classes)
+
+
+@dataclass
+class MultiCoreDriveStats:
+    """Raw outcome of :func:`drive_multicore`."""
+
+    latency: LatencyRecorder
+    completed: int
+    service_cycles: float
+    #: Completions attributed to each core, in core order.
+    per_core_completed: list[int]
+    #: Service cycles attributed to each core, in core order.
+    per_core_service_cycles: list[float]
+    #: Arrivals dispatched to each core, in core order.
+    per_core_dispatched: list[int]
+
+
+def drive_multicore(
+    cores: list[Scheduler],
+    dispatch: DispatchPolicy,
+    arrivals: list[tuple[float, Message]],
+    flush_period_cycles: float | None = None,
+) -> MultiCoreDriveStats:
+    """Drive N bound schedulers from one dispatched arrival stream.
+
+    Deterministic event merge over per-core CPU clocks: repeatedly take
+    the earliest pending event — the next arrival (admitted via the
+    dispatch policy, then the target core's drop policy) or a service
+    step on the busy core with the lowest cycle count (ties broken by
+    core index).  Arrivals at or before a core's current cycle are
+    admitted before that core steps again, matching the single-core
+    loop's admission order exactly.
+
+    With a :mod:`repro.obs` recorder installed, each core's service
+    steps are spans on a ``core{i}/scheduler`` track with machine
+    counters attached (per-core miss attribution), every dispatch an
+    instant on the ``dispatch`` track, and drops/flushes counted per
+    core as well as globally.
+    """
+    if not cores:
+        raise ConfigurationError("drive_multicore() needs at least one core")
+    for scheduler in cores:
+        if scheduler.binding is None:
+            raise ConfigurationError(
+                "drive_multicore() needs machine-bound schedulers"
+            )
+    if flush_period_cycles is not None and flush_period_cycles <= 0:
+        raise ConfigurationError("cache-flush period must be positive")
+    recorder = active_recorder()
+    num_cores = len(cores)
+    clock = cores[0].binding.cpu.clock  # type: ignore[union-attr]
+    pending = [
+        (clock.seconds_to_cycles(time), message) for time, message in arrivals
+    ]
+    next_flush = [flush_period_cycles] * num_cores
+    latency = LatencyRecorder()
+    per_core_completed = [0] * num_cores
+    per_core_service = [0.0] * num_cores
+    per_core_dispatched = [0] * num_cores
+    index = 0
+    completed = 0
+
+    while True:
+        busy = [
+            (cores[i].binding.cpu.cycles, i)  # type: ignore[union-attr]
+            for i in range(num_cores)
+            if cores[i].busy
+        ]
+        next_service = min(busy) if busy else None
+        next_arrival = pending[index][0] if index < len(pending) else None
+        if next_arrival is None and next_service is None:
+            break
+        if next_arrival is not None and (
+            next_service is None or next_arrival <= next_service[0]
+        ):
+            # Admission event: dispatch first, then the core's drop policy.
+            cycle, message = pending[index]
+            target = dispatch.select(message, num_cores) % num_cores
+            scheduler = cores[target]
+            cpu = scheduler.binding.cpu  # type: ignore[union-attr]
+            if not scheduler.busy:
+                cpu.advance_to_cycle(cycle)
+            message.meta["arrival_cycle"] = cycle
+            drops_before = scheduler.drops
+            scheduler.enqueue_arrival(message)
+            per_core_dispatched[target] += 1
+            if recorder is not None:
+                recorder.count("messages.arrivals")
+                recorder.count(f"dispatch.core{target}.assigned")
+                recorder.instant(
+                    "dispatch", dispatch.name, cycle,
+                    core=target, size=message.size,
+                )
+                lost = scheduler.drops - drops_before
+                if lost:
+                    recorder.count("messages.drops", float(lost))
+                    recorder.count(f"dispatch.core{target}.drops", float(lost))
+                    recorder.instant(
+                        f"core{target}/scheduler", "drop", cpu.cycles,
+                        size=message.size,
+                    )
+            index += 1
+            continue
+
+        # Service event on the earliest busy core.
+        assert next_service is not None
+        core_index = next_service[1]
+        scheduler = cores[core_index]
+        cpu = scheduler.binding.cpu  # type: ignore[union-attr]
+        before = cpu.cycles
+        handle = (
+            recorder.begin(
+                f"core{core_index}/scheduler",
+                "service_step",
+                cpu.cycles,
+                machine_counters(cpu),
+                pending_messages=scheduler.pending(),
+            )
+            if recorder is not None
+            else None
+        )
+        completions = scheduler.service_step()
+        if recorder is not None and handle is not None:
+            handle.args["completions"] = len(completions)
+            recorder.end(handle, cpu.cycles)
+            recorder.count("scheduler.service_steps")
+            recorder.count("messages.completions", float(len(completions)))
+        for completion in completions:
+            arrival_cycle = completion.message.meta.get("arrival_cycle")
+            if arrival_cycle is None:
+                continue
+            completed += 1
+            per_core_completed[core_index] += 1
+            latency.record(
+                clock.cycles_to_seconds(
+                    completion.completion_cycle - arrival_cycle
+                )
+            )
+        per_core_service[core_index] += cpu.cycles - before
+        flush_at = next_flush[core_index]
+        if flush_at is not None and cpu.cycles >= flush_at:
+            cpu.cold_start()
+            if recorder is not None:
+                recorder.count("faults.cache_flushes")
+                recorder.instant(
+                    f"core{core_index}/scheduler", "cache_flush", cpu.cycles
+                )
+            while flush_at <= cpu.cycles:
+                flush_at += flush_period_cycles  # type: ignore[operator]
+            next_flush[core_index] = flush_at
+
+    return MultiCoreDriveStats(
+        latency=latency,
+        completed=completed,
+        service_cycles=sum(per_core_service),
+        per_core_completed=per_core_completed,
+        per_core_service_cycles=per_core_service,
+        per_core_dispatched=per_core_dispatched,
+    )
+
+
+@dataclass(frozen=True)
+class CoreStats:
+    """Per-core attribution of one multi-core run."""
+
+    core: int
+    dispatched: int
+    completed: int
+    drops: int
+    icache_misses: int
+    dcache_misses: int
+    cycles: float
+    stall_cycles: float
+    service_cycles: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (harness result cache)."""
+        return {
+            "core": self.core,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "drops": self.drops,
+            "icache_misses": self.icache_misses,
+            "dcache_misses": self.dcache_misses,
+            "cycles": self.cycles,
+            "stall_cycles": self.stall_cycles,
+            "service_cycles": self.service_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CoreStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class MultiCoreRunResult:
+    """One multi-core run: the aggregate plus per-core attribution."""
+
+    dispatch: str
+    num_cores: int
+    aggregate: RunResult
+    cores: tuple[CoreStats, ...]
+
+    @property
+    def dispatch_imbalance(self) -> float:
+        """Max over mean of per-core dispatched counts (1.0 = perfect).
+
+        The load-balance figure of merit for a dispatch policy: RSS
+        should sit near 1, sticky policies may trade imbalance for
+        locality.
+        """
+        counts = [core.dispatched for core in self.cores]
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 1.0
+        return max(counts) / mean
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (harness result cache)."""
+        return {
+            "dispatch": self.dispatch,
+            "num_cores": self.num_cores,
+            "aggregate": self.aggregate.to_dict(),
+            "cores": [core.to_dict() for core in self.cores],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MultiCoreRunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            dispatch=data["dispatch"],
+            num_cores=int(data["num_cores"]),
+            aggregate=RunResult.from_dict(data["aggregate"]),
+            cores=tuple(CoreStats.from_dict(core) for core in data["cores"]),
+        )
+
+
+def run_multicore(
+    source: TrafficSource,
+    config: MultiCoreConfig | None = None,
+    seed: int = 0,
+    arrivals: list[Arrival] | None = None,
+) -> MultiCoreRunResult:
+    """Run one multi-core configuration against one traffic source.
+
+    ``arrivals`` overrides the source's stream (used to replay the
+    identical arrival sequence against several dispatch policies or
+    core counts).  The aggregate :class:`~repro.sim.stats.RunResult`
+    uses the same accounting as the single-core benchmark — misses and
+    cycles summed over cores, divided by total completions — so a
+    one-core run is bit-identical to
+    :func:`repro.sim.runner.run_simulation`.
+    """
+    config = config or MultiCoreConfig()
+    cores = build_cores(config, seed)
+    dispatch = make_dispatch_policy(config.dispatch)
+    stream = arrivals if arrivals is not None else source.arrival_list(config.duration)
+    timestamped = [
+        (a.time, Message(size=a.size, arrival_time=a.time)) for a in stream
+    ]
+    tag_flows(timestamped, seed, config.num_flows, config.app_classes)
+    outcome = drive_multicore(
+        cores,
+        dispatch,
+        timestamped,
+        flush_period_cycles=config.flush_period_cycles,
+    )
+
+    imisses = sum(s.binding.cpu.icache_misses for s in cores)  # type: ignore[union-attr]
+    dmisses = sum(s.binding.cpu.dcache_misses for s in cores)  # type: ignore[union-attr]
+    batch_sizes: list[int] = []
+    for scheduler in cores:
+        batch_sizes.extend(getattr(scheduler, "batch_sizes", []))
+    mean_batch = float(np.mean(batch_sizes)) if len(batch_sizes) > 0 else 1.0
+    rate = getattr(source, "rate", None)
+    if rate is None:
+        rate = len(stream) / config.duration if len(stream) > 0 else 0.0
+    divisor = max(outcome.completed, 1)
+    aggregate = RunResult(
+        scheduler=config.scheduler,
+        arrival_rate=float(rate),
+        offered=sum(s.arrivals for s in cores),
+        completed=outcome.completed,
+        dropped=sum(s.drops for s in cores),
+        duration=config.duration,
+        latency=outcome.latency.summary(),
+        misses=MissesPerMessage(
+            instruction=imisses / divisor, data=dmisses / divisor
+        ),
+        cycles_per_message=outcome.service_cycles / divisor,
+        mean_batch_size=mean_batch,
+    )
+    core_stats = tuple(
+        CoreStats(
+            core=index,
+            dispatched=outcome.per_core_dispatched[index],
+            completed=outcome.per_core_completed[index],
+            drops=scheduler.drops,
+            icache_misses=scheduler.binding.cpu.icache_misses,  # type: ignore[union-attr]
+            dcache_misses=scheduler.binding.cpu.dcache_misses,  # type: ignore[union-attr]
+            cycles=float(scheduler.binding.cpu.cycles),  # type: ignore[union-attr]
+            stall_cycles=float(scheduler.binding.cpu.stall_cycles),  # type: ignore[union-attr]
+            service_cycles=outcome.per_core_service_cycles[index],
+        )
+        for index, scheduler in enumerate(cores)
+    )
+    result = MultiCoreRunResult(
+        dispatch=config.dispatch,
+        num_cores=config.num_cores,
+        aggregate=aggregate,
+        cores=core_stats,
+    )
+    recorder = active_recorder()
+    if recorder is not None:
+        # Per-(policy, core count) miss totals: the BENCH record the
+        # dispatch-locality claim is read from (ldlp vs rss at >= 4
+        # cores), plus per-core attribution totals.
+        prefix = f"multicore.{config.dispatch}.cores{config.num_cores}"
+        recorder.count(f"{prefix}.imisses", float(imisses))
+        recorder.count(f"{prefix}.dmisses", float(dmisses))
+        recorder.count(f"{prefix}.completed", float(outcome.completed))
+        for stats in core_stats:
+            recorder.count(
+                f"multicore.core{stats.core}.imisses",
+                float(stats.icache_misses),
+            )
+    return result
+
+
+def merge_multicore_results(
+    results: list[MultiCoreRunResult],
+) -> MultiCoreRunResult:
+    """Merge same-configuration multi-core runs across seeds.
+
+    The aggregate is seed-merged like the single-core benchmark
+    (:func:`repro.sim.stats.merge_results`); per-core stats are summed
+    element-wise (core i of every seed is the same modeled core).
+    """
+    if not results:
+        raise ConfigurationError("cannot merge zero multi-core results")
+    num_cores = results[0].num_cores
+    merged_cores = []
+    for index in range(num_cores):
+        per_seed = [r.cores[index] for r in results]
+        merged_cores.append(
+            CoreStats(
+                core=index,
+                dispatched=sum(c.dispatched for c in per_seed),
+                completed=sum(c.completed for c in per_seed),
+                drops=sum(c.drops for c in per_seed),
+                icache_misses=sum(c.icache_misses for c in per_seed),
+                dcache_misses=sum(c.dcache_misses for c in per_seed),
+                cycles=sum(c.cycles for c in per_seed),
+                stall_cycles=sum(c.stall_cycles for c in per_seed),
+                service_cycles=sum(c.service_cycles for c in per_seed),
+            )
+        )
+    return MultiCoreRunResult(
+        dispatch=results[0].dispatch,
+        num_cores=num_cores,
+        aggregate=merge_results([r.aggregate for r in results]),
+        cores=tuple(merged_cores),
+    )
+
+
+def run_multicore_averaged(
+    source_factory,
+    config: MultiCoreConfig,
+    seeds: list[int],
+) -> MultiCoreRunResult:
+    """Average one multi-core configuration over several seeds.
+
+    ``source_factory(seed)`` returns a fresh traffic source; the same
+    seed drives per-core code placement and flow tagging — the paper's
+    placement-averaging methodology applied per core.
+    """
+    return merge_multicore_results(
+        [run_multicore(source_factory(seed), config, seed=seed) for seed in seeds]
+    )
+
+
+def multicore_point(
+    scheduler: str,
+    dispatch: str,
+    cores: int,
+    rate: float,
+    seeds: list[int],
+    duration: float,
+    policy: str = "tail",
+    num_flows: int = 64,
+    app_classes: int = 8,
+    message_size: int = 552,
+) -> dict[str, Any]:
+    """One (scheduler, dispatch, core count) sweep point.
+
+    Module-level and fully determined by its JSON parameters (the
+    harness contract: parallel workers resolve it by dotted name, the
+    result cache keys it by content hash).  Per seed, draw a Poisson
+    arrival stream at the *aggregate* rate, dispatch it over ``cores``
+    cores, and merge.  Returns the merged
+    :class:`MultiCoreRunResult` plus a conservation audit — dispatching
+    must neither create nor lose messages
+    (``offered == completed + dropped`` once the queues drain).
+    """
+    config = MultiCoreConfig(
+        scheduler=scheduler,
+        dispatch=dispatch,
+        num_cores=cores,
+        num_flows=num_flows,
+        app_classes=app_classes,
+        duration=duration,
+        drop_policy=policy,
+    )
+    results = []
+    violations = 0
+    for seed in seeds:
+        source = PoissonSource(rate, size=message_size, rng=seed)
+        result = run_multicore(source, config, seed=seed)
+        aggregate = result.aggregate
+        if aggregate.offered != aggregate.completed + aggregate.dropped:
+            violations += 1
+        results.append(result)
+    merged = merge_multicore_results(results)
+    return {
+        "result": merged.to_dict(),
+        "dispatch": dispatch,
+        "cores": cores,
+        "conservation_violations": violations,
+        "dispatch_imbalance": merged.dispatch_imbalance,
+    }

@@ -121,7 +121,14 @@ class SimulationConfig:
         return replace(self, scheduler=scheduler)
 
 
-def _build_scheduler(config: SimulationConfig, seed) -> Scheduler:
+def build_scheduler(config: SimulationConfig, seed) -> Scheduler:
+    """Build one machine-bound scheduler from a config and placement seed.
+
+    Shared by :func:`run_simulation` and the multi-core runner
+    (:mod:`repro.sim.multicore`), which builds one per core — reusing
+    this exact constructor is what makes a one-core multi-core run
+    bit-identical to the single-core benchmark.
+    """
     layers = build_paper_stack(
         config.num_layers,
         config.layer_code_bytes,
@@ -157,6 +164,10 @@ def _build_scheduler(config: SimulationConfig, seed) -> Scheduler:
     return LDLPScheduler(
         layers, binding, config.input_limit, policy, drop_policy=drop_policy
     )
+
+
+#: Backwards-compatible alias (pre-multicore name).
+_build_scheduler = build_scheduler
 
 
 @dataclass
@@ -303,7 +314,7 @@ def run_simulation(
     identical arrival sequence against several schedulers).
     """
     config = config or SimulationConfig()
-    scheduler = _build_scheduler(config, seed)
+    scheduler = build_scheduler(config, seed)
     binding = scheduler.binding
     assert binding is not None
     cpu = binding.cpu
