@@ -149,6 +149,16 @@ RULES: dict[str, Rule] = {
             "behaviour would drift unpinned by the golden gate.",
         ),
         Rule(
+            "HARN003",
+            "unexercised-flow-cache-organization",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "A flow-lookup cache organization registered in "
+            "repro.flows.lookup is not exercised by any flows sweep "
+            "point at any scale; its behaviour would drift unpinned by "
+            "the golden gate.",
+        ),
+        Rule(
             "MBUF003",
             "mbuf-leak",
             Severity.WARNING,

@@ -285,11 +285,58 @@ def check_dispatch_coverage() -> list[Finding]:
     ]
 
 
+def check_flow_org_coverage() -> list[Finding]:
+    """HARN003 findings: flow-cache organizations no flows sweep runs.
+
+    The mirror of HARN002 for the flow-lookup layer: every cache
+    organization registered in
+    :data:`repro.flows.lookup.FLOW_CACHE_ORGS` must appear as the
+    ``organization`` parameter of at least one ``flows`` sweep point at
+    some scale, or its replacement behaviour could change without
+    tripping any golden.
+    """
+    from ..flows.lookup import FLOW_CACHE_ORGS
+    from ..harness.registry import get_spec
+
+    spec = get_spec("flows")
+    exercised: set[str] = set()
+    for scale in SCALES:
+        try:
+            points = spec.points_for(scale)
+        except (KeyError, ConfigurationError):
+            continue
+        for point in points:
+            name = point.params.get("organization")
+            if name is not None:
+                exercised.add(str(name))
+    missing = sorted(set(FLOW_CACHE_ORGS) - exercised)
+    return [
+        Finding(
+            rule_id="HARN003",
+            message=(
+                f"flow-cache organization {name!r} is registered in "
+                f"repro.flows.lookup.FLOW_CACHE_ORGS but exercised by "
+                f"no flows sweep point at any scale — its behaviour "
+                f"is unpinned by the golden gate "
+                f"(exercised: {', '.join(sorted(exercised)) or 'none'})"
+            ),
+            target="experiment:flows",
+            details={
+                "organization": name,
+                "exercised": sorted(exercised),
+            },
+        )
+        for name in missing
+    ]
+
+
 def check_all_specs() -> list[Finding]:
     """HARN findings across every registered experiment.
 
     HARN001 (undeclared cache sources) for each spec, plus HARN002
-    (dispatch-policy sweep coverage) for the multicore experiment.
+    (dispatch-policy sweep coverage) for the multicore experiment and
+    HARN003 (flow-cache-organization sweep coverage) for the flows
+    experiment.
     """
     from ..harness.registry import all_specs
 
@@ -297,4 +344,5 @@ def check_all_specs() -> list[Finding]:
     for spec in all_specs():
         findings.extend(check_spec(spec))
     findings.extend(check_dispatch_coverage())
+    findings.extend(check_flow_org_coverage())
     return findings

@@ -9,7 +9,12 @@ Public surface:
 * :mod:`repro.cache.line` helpers for address/line arithmetic.
 """
 
-from .cache import Cache, DirectMappedCache, SetAssociativeCache
+from .cache import (
+    REPLACEMENT_POLICIES,
+    Cache,
+    DirectMappedCache,
+    SetAssociativeCache,
+)
 from .chunked import SegmentedAccessPlan, UnsupportedPlanError, unit_plan
 from .hierarchy import (
     DEC3000_400,
@@ -42,6 +47,7 @@ __all__ = [
     "LineSizeRow",
     "LineSizeTable",
     "MachineSpec",
+    "REPLACEMENT_POLICIES",
     "ROSENBLUM_1998",
     "SegmentedAccessPlan",
     "SetAssociativeCache",

@@ -1,4 +1,4 @@
-"""Cache models: direct-mapped and set-associative with LRU replacement.
+"""Cache models: direct-mapped and set-associative (LRU or FIFO).
 
 The paper's synthetic environment (Section 4) uses 8 KB direct-mapped
 primary instruction and data caches with 32-byte lines and a 20-cycle
@@ -6,9 +6,11 @@ read-miss stall.  :class:`DirectMappedCache` models exactly that, with a
 vectorized fast path for the contiguous multi-line accesses that dominate
 protocol processing (sweeping a layer's code, reading a message body).
 
-:class:`SetAssociativeCache` generalizes to N-way LRU for the cache
-organization studies in Section 5.3 and for tests; it is scalar and exact
-but not used in the hot simulation loops.
+:class:`SetAssociativeCache` generalizes to N-way replacement — true LRU
+or FIFO, selected by ``policy`` — for the cache organization studies in
+Section 5.3, the flow-lookup cache sweep (:mod:`repro.flows`, modeled on
+Jain's DEC-TR-592 destination-address cache study), and tests; it is
+scalar and exact but not used in the hot simulation loops.
 """
 
 from __future__ import annotations
@@ -104,6 +106,11 @@ class DirectMappedCache(Cache):
         return True
 
     def contains_line(self, line: int) -> bool:
+        if line < 0:
+            # Same guard as access_line: a negative line would otherwise
+            # compare equal to the -1 invalid-slot sentinel and report
+            # an empty set as resident.
+            raise ConfigurationError(f"line number must be non-negative, got {line}")
         return bool(self._tags[line % self.num_lines] == line)
 
     def flush(self) -> None:
@@ -237,23 +244,49 @@ class DirectMappedCache(Cache):
         return {int(tag) for tag in self._tags if tag != -1}
 
 
-class SetAssociativeCache(Cache):
-    """An N-way set-associative cache with true-LRU replacement.
+#: Replacement policies :class:`SetAssociativeCache` implements.  LRU is
+#: the Section-5.3 organization study default; FIFO is the cheaper
+#: hardware alternative the flow-lookup sweep (:mod:`repro.flows`)
+#: compares it against, after Jain's DEC-TR-592 lookup-cache study.
+REPLACEMENT_POLICIES = ("lru", "fifo")
 
-    ``ways=1`` behaves identically to :class:`DirectMappedCache` (verified
-    by tests); ``ways == num_lines`` is fully associative.
+
+class SetAssociativeCache(Cache):
+    """An N-way set-associative cache with LRU or FIFO replacement.
+
+    ``policy="lru"`` (the default) is true LRU: a hit refreshes the
+    line's recency, a miss evicts the least recently *used* line.
+    ``policy="fifo"`` never reorders on hit, so a miss evicts the least
+    recently *inserted* line regardless of hits since.  ``ways=1``
+    behaves identically to :class:`DirectMappedCache` under either
+    policy — with one line per set there is nothing to reorder —
+    (verified by tests); ``ways == num_lines`` is fully associative.
     """
 
-    def __init__(self, size: int, line_size: int = 32, ways: int = 2) -> None:
+    def __init__(
+        self,
+        size: int,
+        line_size: int = 32,
+        ways: int = 2,
+        policy: str = "lru",
+    ) -> None:
         super().__init__(size, line_size)
         check_power_of_two(ways, "associativity")
         if ways > self.num_lines:
             raise ConfigurationError(
                 f"{ways}-way associativity exceeds {self.num_lines} lines"
             )
+        if policy not in REPLACEMENT_POLICIES:
+            raise ConfigurationError(
+                f"unknown replacement policy {policy!r}; expected one of "
+                f"{REPLACEMENT_POLICIES}"
+            )
         self.ways = ways
+        self.policy = policy
         self.num_sets = self.num_lines // ways
-        # Each set is an LRU-ordered list of tags, most recent last.
+        # Each set is a replacement-ordered list of tags: the eviction
+        # victim first, the most recently used (LRU) or most recently
+        # inserted (FIFO) tag last.
         self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
 
     def access_line(self, line: int) -> bool:
@@ -261,8 +294,9 @@ class SetAssociativeCache(Cache):
             raise ConfigurationError(f"line number must be non-negative, got {line}")
         lru = self._sets[line % self.num_sets]
         if line in lru:
-            lru.remove(line)
-            lru.append(line)
+            if self.policy == "lru":
+                lru.remove(line)
+                lru.append(line)
             self.stats.hits += 1
             return False
         if len(lru) >= self.ways:
@@ -273,6 +307,11 @@ class SetAssociativeCache(Cache):
         return True
 
     def contains_line(self, line: int) -> bool:
+        if line < 0:
+            # Parity with access_line (and with DirectMappedCache): the
+            # membership probe must reject the same inputs the access
+            # path rejects instead of silently answering False.
+            raise ConfigurationError(f"line number must be non-negative, got {line}")
         return line in self._sets[line % self.num_sets]
 
     def flush(self) -> None:

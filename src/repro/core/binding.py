@@ -67,6 +67,12 @@ class MachineBinding:
         self.buffer_size = buffer_size
         self.cpu = CPU(self.spec)
         self.executor = FootprintExecutor(self.cpu)
+        #: Optional flow-lookup cache (:class:`repro.flows.FlowLookup`).
+        #: When set, the scheduler hooks charge a route/PCB lookup per
+        #: service batch (see repro.core.scheduler.charge_flow_lookups);
+        #: when None — the default — lookups cost nothing, preserving
+        #: the original Section-4 cost model bit-for-bit.
+        self.flow_lookup = None
         self._layout = MemoryLayout(
             line_size=self.spec.icache.line_size, rng=self.rng
         )

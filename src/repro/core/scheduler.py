@@ -27,8 +27,30 @@ from ..errors import GroupingError, SchedulerError
 from ..obs.runtime import active_recorder
 from .batching import BatchPolicy
 from .binding import MachineBinding
+from .dispatch import flow_of
 from .layer import Layer, Message
 from .overload import DropPolicy, TailDrop
+
+
+def charge_flow_lookups(scheduler: "Scheduler", batch: list[Message]) -> None:
+    """Charge destination (route/PCB) lookups for one service batch.
+
+    No-op unless the scheduler's binding carries a
+    :class:`repro.flows.FlowLookup`.  The batch granularity is the
+    amortization model: per-message schedulers call this with
+    single-message batches and pay one lookup each, while batched
+    schedulers (LDLP, Grouped) call it once per
+    :func:`take_batch` and pay one lookup per *distinct* flow — the
+    layer holds the resolved destination state while sweeping the
+    batch, exactly as it holds layer code resident.
+    """
+    binding = scheduler.binding
+    if binding is None or not batch:
+        return
+    lookup = binding.flow_lookup
+    if lookup is None:
+        return
+    lookup.charge_batch(binding, [flow_of(message) for message in batch])
 
 
 @dataclass(frozen=True)
@@ -314,6 +336,7 @@ class ConventionalScheduler(Scheduler):
         if not self.input_queue:
             return []
         message = self.input_queue.popleft()
+        charge_flow_lookups(self, [message])
         completions: list[Completion] = []
         self._cascade(message, 0, completions)
         return completions
@@ -332,6 +355,7 @@ class ILPScheduler(Scheduler):
         if not self.input_queue:
             return []
         message = self.input_queue.popleft()
+        charge_flow_lookups(self, [message])
         completions: list[Completion] = []
         if not self.layers:
             return completions
@@ -371,6 +395,7 @@ def take_batch(scheduler: "LDLPScheduler | GroupedLDLPScheduler") -> list[Messag
     while scheduler.input_queue and len(batch) < limit:
         batch.append(scheduler.input_queue.popleft())
     scheduler.batch_sizes.append(len(batch))
+    charge_flow_lookups(scheduler, batch)
     recorder = active_recorder()
     if recorder is not None:
         recorder.count("ldlp.batches")

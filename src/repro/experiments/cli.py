@@ -42,6 +42,7 @@ from . import (
     figure6,
     figure7,
     figure8,
+    flows,
     motivation,
     multicore,
     schedules,
@@ -67,6 +68,7 @@ EXPERIMENTS = {
     "schedules": lambda args: schedules.main(),
     "motivation": lambda args: print(motivation.run().render()),
     "multicore": lambda args: multicore.main(),
+    "flows": lambda args: flows.main(),
     "analyze": lambda args: _analyze(args),
 }
 

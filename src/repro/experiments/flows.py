@@ -1,0 +1,353 @@
+"""Flow-lookup cache sweep — hit ratio and lookup misses per message.
+
+The ``flows`` experiment sweeps lookup-cache size x organization x
+Zipf skew x scheduler over the Section-4 stack with route/PCB lookup
+charging attached (:mod:`repro.flows`), and reports each combination's
+lookup-cache hit ratio and full-table-walks per completed message.
+
+Two golden-pinned headlines, both Jain's DEC-TR-592 qualitative claims
+transplanted onto the paper's machine model:
+
+* hit ratio grows monotonically with lookup-cache size at fixed skew
+  (the classic lookup-cache curve — pinned per (scheduler,
+  organization, skew) as an exact 1.0 boolean, plus the raw curve
+  values under tolerance);
+* batching schedulers (LDLP, Grouped) incur *at most* the per-message
+  schedulers' lookup misses per message at equal load, because one
+  batch resolves each distinct destination once
+  (``lookup_amortization_ok``, exact 1.0) — with exactly zero
+  conservation violations.
+
+Every sweep point is the pure module-level
+:func:`repro.flows.runner.flows_point`, so the sweep parallelizes over
+the harness worker pool and caches by content hash like any other
+experiment.  Points accept ``engine`` for the CI dual-engine passes,
+but flow-charged runs always fall back to the scalar loop
+(``vec_supported`` declines them), so both passes share one set of
+byte-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..flows.runner import FlowRunResult, flows_point
+from ..harness.points import SweepPoint, SweepSpec, Tolerance
+from .report import render_table
+
+#: Slack for the amortization comparison: misses/msg are ratios of
+#: exact integer counters, so equality up to float noise still counts.
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class FlowRow:
+    """One rendered (scheduler, organization, skew, entries) combination."""
+
+    scheduler: str
+    organization: str
+    skew: float
+    entries: int
+    result: FlowRunResult
+    violations: int
+
+
+@dataclass(frozen=True)
+class FlowSweepResult:
+    """The assembled flow sweep: one row per combination."""
+
+    rows: tuple[FlowRow, ...]
+
+    def conservation_violations(self) -> int:
+        """Total per-seed conservation failures across every point."""
+        return sum(row.violations for row in self.rows)
+
+    def hit_ratio_curve(
+        self, scheduler: str, organization: str, skew: float
+    ) -> list[tuple[int, float]]:
+        """(entries, hit ratio) pairs for one curve, smallest cache first."""
+        points = [
+            (row.entries, row.result.hit_ratio)
+            for row in self.rows
+            if row.scheduler == scheduler
+            and row.organization == organization
+            and row.skew == skew
+        ]
+        return sorted(points)
+
+    def hit_ratio_monotonic(
+        self, scheduler: str, organization: str, skew: float
+    ) -> bool:
+        """Whether one curve's hit ratio never drops as the cache grows."""
+        curve = self.hit_ratio_curve(scheduler, organization, skew)
+        return all(
+            earlier <= later + _EPSILON
+            for (_, earlier), (_, later) in zip(curve, curve[1:])
+        )
+
+    def amortization_ok(self) -> bool:
+        """Batching schedulers never exceed conventional lookup misses.
+
+        For every (organization, skew, entries) combination where both
+        the conventional scheduler and a batching scheduler (ldlp,
+        grouped) ran, the batching scheduler's lookup misses per
+        completed message must be at most conventional's — the batch
+        resolves each destination once, so batching can only shed
+        lookups, never add them.
+        """
+        baseline: dict[tuple[str, float, int], float] = {}
+        for row in self.rows:
+            if row.scheduler == "conventional":
+                key = (row.organization, row.skew, row.entries)
+                baseline[key] = row.result.lookup_misses_per_message
+        for row in self.rows:
+            if row.scheduler not in ("ldlp", "grouped"):
+                continue
+            base = baseline.get((row.organization, row.skew, row.entries))
+            if base is None:
+                continue
+            if row.result.lookup_misses_per_message > base + _EPSILON:
+                return False
+        return True
+
+    def render(self) -> str:
+        """The flow-sweep table (hit ratio, misses, amortization)."""
+        table_rows = []
+        for row in self.rows:
+            result = row.result
+            run = result.run
+            table_rows.append(
+                [
+                    row.scheduler,
+                    row.organization,
+                    f"{row.skew:g}",
+                    row.entries,
+                    run.completed,
+                    f"{100.0 * result.hit_ratio:.1f}%",
+                    f"{result.lookup_misses_per_message:.3f}",
+                    f"{result.lookups / max(result.demand, 1):.2f}",
+                    f"{run.mean_batch_size:.1f}",
+                    "ok" if row.violations == 0 else f"{row.violations} BAD",
+                ]
+            )
+        return render_table(
+            [
+                "scheduler",
+                "org",
+                "skew",
+                "entries",
+                "done",
+                "hit%",
+                "miss/msg",
+                "lkup/dmnd",
+                "batch",
+                "conserved",
+            ],
+            table_rows,
+            title=(
+                "Flow-lookup cache sweep: hit ratio and lookup misses vs "
+                "cache size x organization x Zipf skew x scheduler"
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep interface (repro.harness)
+
+#: (organizations, entry counts, skews, schedulers, seeds, duration)
+#: per harness scale.  The offered load is fixed and high enough that
+#: batching schedulers assemble real batches — that is what exposes
+#: lookup amortization.  The default and paper scales cover every
+#: registered organization (HARN003 gates that this stays true).
+SWEEP_SCALES: dict[
+    str,
+    tuple[
+        tuple[str, ...],
+        tuple[int, ...],
+        tuple[float, ...],
+        tuple[str, ...],
+        tuple[int, ...],
+        float,
+    ],
+] = {
+    "ci": (
+        ("direct", "lru4", "fifo4"),
+        (4, 16, 64),
+        (1.1,),
+        ("conventional", "ldlp"),
+        (0, 1),
+        0.05,
+    ),
+    "default": (
+        ("direct", "lru2", "fifo2", "lru4", "fifo4"),
+        (4, 16, 64),
+        (0.6, 1.1),
+        ("conventional", "ilp", "ldlp", "grouped"),
+        (0, 1, 2),
+        0.1,
+    ),
+    "paper": (
+        ("direct", "lru2", "fifo2", "lru4", "fifo4"),
+        (4, 8, 16, 32, 64, 128),
+        (0.5, 1.0, 1.5),
+        ("conventional", "ilp", "ldlp", "grouped"),
+        tuple(range(10)),
+        0.3,
+    ),
+}
+
+#: Poisson arrival rate (messages/s): just above the conventional
+#: scheduler's capacity, so queues form and batches are non-trivial.
+SWEEP_RATE = 11000.0
+
+#: Modeled destination population the Zipf draw ranks over.
+SWEEP_NUM_FLOWS = 64
+
+
+def sweep_points(scale: str) -> list[SweepPoint]:
+    """Cache size x organization x skew x scheduler at fixed load."""
+    organizations, entries_list, skews, schedulers, seeds, duration = (
+        SWEEP_SCALES[scale]
+    )
+    return [
+        SweepPoint(
+            experiment="flows",
+            key=(
+                f"{scheduler}/{organization}/skew={skew:g}/"
+                f"entries={entries}"
+            ),
+            func="repro.flows.runner:flows_point",
+            params={
+                "scheduler": scheduler,
+                "organization": organization,
+                "entries": entries,
+                "skew": skew,
+                "rate": SWEEP_RATE,
+                "seeds": list(seeds),
+                "duration": duration,
+                "num_flows": SWEEP_NUM_FLOWS,
+            },
+        )
+        for scheduler in schedulers
+        for organization in organizations
+        for skew in skews
+        for entries in entries_list
+    ]
+
+
+def assemble(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> FlowSweepResult:
+    """Rebuild the sweep table from point results."""
+    rows = []
+    for point in points:
+        data = results[point.key]
+        rows.append(
+            FlowRow(
+                scheduler=point.params["scheduler"],
+                organization=point.params["organization"],
+                skew=float(point.params["skew"]),
+                entries=int(point.params["entries"]),
+                result=FlowRunResult.from_dict(data["result"]),
+                violations=int(data["conservation_violations"]),
+            )
+        )
+    return FlowSweepResult(rows=tuple(rows))
+
+
+def golden_quantities(
+    points: list[SweepPoint], results: dict[str, Any]
+) -> dict[str, float]:
+    """The pinned flow-lookup curves.
+
+    Per combination: the lookup-cache hit ratio and lookup misses per
+    completed message (tolerance-gated curve values).  Per (scheduler,
+    organization, skew): an exact 1.0 pin that the hit-ratio curve is
+    monotone in cache size — Jain's qualitative result.  Sweep-wide:
+    the exact amortization boolean (batching never exceeds
+    conventional's misses/msg) and the exact-zero conservation count.
+    """
+    sweep = assemble(points, results)
+    quantities: dict[str, float] = {}
+    curves: list[tuple[str, str, float]] = []
+    for row in sweep.rows:
+        prefix = (
+            f"{row.scheduler}/{row.organization}/skew={row.skew:g}/"
+            f"entries={row.entries}"
+        )
+        quantities[f"{prefix}/hit_ratio"] = row.result.hit_ratio
+        quantities[f"{prefix}/lookup_misses_per_msg"] = (
+            row.result.lookup_misses_per_message
+        )
+        curve = (row.scheduler, row.organization, row.skew)
+        if curve not in curves:
+            curves.append(curve)
+    for scheduler, organization, skew in curves:
+        quantities[
+            f"{scheduler}/{organization}/skew={skew:g}/hit_ratio_monotonic"
+        ] = float(sweep.hit_ratio_monotonic(scheduler, organization, skew))
+    quantities["lookup_amortization_ok"] = float(sweep.amortization_ok())
+    quantities["conservation_violations"] = float(
+        sweep.conservation_violations()
+    )
+    return quantities
+
+
+def _exact_tolerances() -> dict[str, Tolerance]:
+    """Exact-match tolerances for every boolean/count quantity.
+
+    Enumerated statically over every scale's combinations so the spec
+    covers whichever scale a regress run uses.
+    """
+    names = {"lookup_amortization_ok", "conservation_violations"}
+    for organizations, _, skews, schedulers, _, _ in SWEEP_SCALES.values():
+        for scheduler in schedulers:
+            for organization in organizations:
+                for skew in skews:
+                    names.add(
+                        f"{scheduler}/{organization}/skew={skew:g}/"
+                        f"hit_ratio_monotonic"
+                    )
+    return {name: Tolerance() for name in sorted(names)}
+
+
+SWEEP = SweepSpec(
+    name="flows",
+    points=sweep_points,
+    quantities=golden_quantities,
+    assemble=assemble,
+    sources=(
+        "repro.sim",
+        "repro.core",
+        "repro.cache",
+        "repro.machine",
+        "repro.traffic",
+        "repro.buffers",
+        "repro.flows",
+        "repro.obs.runtime",
+        "repro.units",
+        "repro.errors",
+        "repro.experiments.report",
+        "repro.experiments.flows",
+        "repro.harness.points",
+    ),
+    default_tolerance=Tolerance(rel=0.4, abs=0.02),
+    tolerances=_exact_tolerances(),
+)
+
+
+def run(scale: str = "ci") -> FlowSweepResult:
+    """Run the sweep serially (no worker pool) and assemble the table."""
+    points = sweep_points(scale)
+    results = {point.key: flows_point(**point.params) for point in points}
+    return assemble(points, results)
+
+
+def main() -> None:
+    """Serial CLI entry: run the CI-scale sweep and print the table."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Flow/destination-address lookup caching (after Jain, DEC-TR-592).
+
+The data-side twin of the paper's instruction-locality argument:
+destination lookups (routing table, PCB list) exhibit the same heavy
+temporal locality as layer code, so a small cache in front of those
+tables absorbs most lookups — and LDLP-style batching amortizes the
+misses that remain, because a batch of same-flow messages resolves its
+destination once.
+
+* :mod:`repro.flows.lookup` — the lookup-cache model: sweepable
+  organizations (direct-mapped / N-way LRU / N-way FIFO), the cost
+  spec, and per-batch charge accounting;
+* :mod:`repro.flows.runner` — the Section-4 benchmark with lookup
+  charging attached, and the ``flows_point`` harness sweep point.
+"""
+
+from .lookup import FLOW_CACHE_ORGS, FlowCacheSpec, FlowLookup, make_flow_cache
+from .runner import (
+    FlowRunResult,
+    flows_point,
+    merge_flow_results,
+    run_flow_simulation,
+)
+
+__all__ = [
+    "FLOW_CACHE_ORGS",
+    "FlowCacheSpec",
+    "FlowLookup",
+    "FlowRunResult",
+    "flows_point",
+    "make_flow_cache",
+    "merge_flow_results",
+    "run_flow_simulation",
+]

@@ -28,6 +28,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "schedules": "repro.experiments.schedules",
     "faults": "repro.faults.campaigns",
     "multicore": "repro.experiments.multicore",
+    "flows": "repro.experiments.flows",
 }
 
 

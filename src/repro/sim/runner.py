@@ -315,9 +315,7 @@ def run_simulation(
     """
     config = config or SimulationConfig()
     scheduler = build_scheduler(config, seed)
-    binding = scheduler.binding
-    assert binding is not None
-    cpu = binding.cpu
+    assert scheduler.binding is not None
 
     stream = arrivals if arrivals is not None else source.arrival_list(config.duration)
     timestamped = [
@@ -329,6 +327,25 @@ def run_simulation(
         flush_period_cycles=config.flush_period_cycles,
         engine=config.engine,
     )
+    return assemble_run_result(scheduler, outcome, source, stream, config)
+
+
+def assemble_run_result(
+    scheduler: Scheduler,
+    outcome: DriveStats,
+    source: TrafficSource,
+    stream: list[Arrival],
+    config: SimulationConfig,
+) -> RunResult:
+    """Reduce one driven run to its :class:`RunResult`.
+
+    Shared by :func:`run_simulation` and the flow-lookup runner
+    (:mod:`repro.flows.runner`), so both report misses, cycles, and
+    batching with exactly the same accounting.
+    """
+    binding = scheduler.binding
+    assert binding is not None
+    cpu = binding.cpu
     latency = outcome.latency
     completed = outcome.completed
     service_cycles = outcome.service_cycles

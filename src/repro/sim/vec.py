@@ -37,10 +37,12 @@ Equivalence boundaries
 ----------------------
 The engine silently declines (:func:`try_drive_vec` returns ``None``,
 the caller falls back to the scalar loop) whenever exact replay is not
-guaranteed: unbound schedulers, non-passthrough layers (stateful
-stacks), an L2 hierarchy, layers whose code working set conflicts with
-itself in the instruction cache (the static template would be unsound —
-see :class:`~repro.cache.chunked.UnsupportedPlanError`), or a span-keeping
+guaranteed: unbound schedulers, bindings carrying a flow-lookup cache
+(:mod:`repro.flows` charging is a scalar-path feature), non-passthrough
+layers (stateful stacks), an L2 hierarchy, layers whose code working
+set conflicts with itself in the instruction cache (the static template
+would be unsound — see
+:class:`~repro.cache.chunked.UnsupportedPlanError`), or a span-keeping
 obs recorder (the vec path does not emit per-layer ``invoke`` spans,
 only the drive-level counters and ``service_step`` spans the harness
 consumes; full tracing keeps the scalar path).
@@ -322,6 +324,11 @@ def vec_supported(scheduler: Scheduler) -> bool:
         return False
     binding = scheduler.binding
     if binding is None or not binding.bound:
+        return False
+    if binding.flow_lookup is not None:
+        # Flow-lookup charging (repro.flows) happens inside the scalar
+        # service path; the static step templates do not model it, so
+        # a lookup-charged run must take the scalar loop.
         return False
     if binding.spec.l2 is not None:
         return False

@@ -2,7 +2,9 @@
 
 The self-similar generator plus the Bellcore trace reader/writer stand
 in for the Leland et al. Ethernet traces that drive the paper's
-Figure 7 (see DESIGN.md, substitutions).
+Figure 7 (see DESIGN.md, substitutions).  :class:`ZipfFlowSource`
+layers Zipf-distributed destination flows over any base source for the
+flow-lookup cache sweep (:mod:`repro.flows`).
 """
 
 from .base import Arrival, TrafficSource, make_rng
@@ -23,6 +25,13 @@ from .poisson import (
     DeterministicSource,
     PoissonSource,
 )
+from .zipf import (
+    FlowArrival,
+    ZipfFlowSource,
+    flow_rng,
+    zipf_flow_ids,
+    zipf_weights,
+)
 
 __all__ = [
     "Arrival",
@@ -30,6 +39,7 @@ __all__ = [
     "DeterministicSource",
     "ETHERNET_MAX",
     "ETHERNET_MIN",
+    "FlowArrival",
     "OCT89_SIZE_MIX",
     "PAPER_MESSAGE_SIZE",
     "ParetoOnOffSource",
@@ -37,10 +47,14 @@ __all__ = [
     "SizeMix",
     "TraceSource",
     "TrafficSource",
+    "ZipfFlowSource",
+    "flow_rng",
     "hurst_estimate",
     "make_rng",
     "pareto_samples",
     "read_bellcore_trace",
     "synthesize_bellcore_like",
     "write_bellcore_trace",
+    "zipf_flow_ids",
+    "zipf_weights",
 ]

@@ -209,11 +209,60 @@ class TestSetAssociativeCache:
         with pytest.raises(ConfigurationError):
             SetAssociativeCache(1024, 32, ways=64)
 
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(1024, 32, ways=2, policy="random")
+
+    def test_fifo_hit_does_not_refresh(self):
+        # The same trace as test_lru_evicts_least_recent: under FIFO the
+        # hit on `a` does not refresh it, so `c` evicts `a` (the oldest
+        # *insertion*), not `b`.
+        assoc = SetAssociativeCache(1024, 32, ways=2, policy="fifo")
+        sets = assoc.num_sets
+        a, b, c = 0, sets, 2 * sets  # all in set 0
+        assoc.access_line(a)
+        assoc.access_line(b)
+        assert assoc.access_line(a) is False  # hit; FIFO order unchanged
+        assoc.access_line(c)  # evicts a, the least recently inserted
+        assert not assoc.contains_line(a)
+        assert assoc.contains_line(b)
+        assert assoc.contains_line(c)
+
+    def test_fifo_fully_associative_round_robin(self):
+        # With one set, FIFO degenerates to round-robin over insertions.
+        assoc = SetAssociativeCache(128, 32, ways=4, policy="fifo")
+        for line in range(4):
+            assoc.access_line(line)
+        assoc.access_line(0)  # hit; does not move line 0 to the back
+        assoc.access_line(4)  # evicts line 0 anyway
+        assert not assoc.contains_line(0)
+        assert all(assoc.contains_line(line) for line in (1, 2, 3, 4))
+
     def test_flush(self):
         assoc = SetAssociativeCache(1024, 32, ways=2)
         assoc.access_line(3)
         assoc.flush()
         assert not assoc.contains_line(3)
+
+    def test_contains_line_rejects_negative(self):
+        # Regression: a negative probe used to compare equal to the -1
+        # invalid-slot sentinel in DirectMappedCache and report an empty
+        # set as resident; both classes now reject it like access_line.
+        direct = DirectMappedCache(1024, 32)
+        assoc = SetAssociativeCache(1024, 32, ways=2)
+        for cache in (direct, assoc):
+            with pytest.raises(ConfigurationError):
+                cache.contains_line(-1)
+            with pytest.raises(ConfigurationError):
+                cache.access_line(-1)
+
+    def test_empty_slot_not_reported_resident(self):
+        # The observable half of the sentinel bug: a cold cache holds
+        # nothing, including at the set a negative line would alias.
+        cache = DirectMappedCache(1024, 32)
+        assert cache.resident_lines() == set()
+        assert not cache.contains_line(0)
+        assert not cache.contains_line(cache.num_lines - 1)
 
     @given(lines=st.lists(st.integers(0, 300), min_size=1, max_size=300))
     @settings(max_examples=30, deadline=None)

@@ -136,15 +136,116 @@ def test_span_path_matches_scalar_path(size, line_size, accesses):
 
 @settings(max_examples=60, deadline=None)
 @given(size=SIZES, line_size=LINE_SIZES, accesses=ACCESSES)
-def test_one_way_equals_direct_mapped(size, line_size, accesses):
-    """SetAssociativeCache(ways=1) is a direct-mapped cache."""
+@pytest.mark.parametrize("policy", ["lru", "fifo"])
+def test_one_way_equals_direct_mapped(policy, size, line_size, accesses):
+    """SetAssociativeCache(ways=1) is a direct-mapped cache — under
+    either replacement policy, since a one-line set has no replacement
+    order to maintain."""
     direct = DirectMappedCache(size, line_size)
-    assoc = SetAssociativeCache(size, line_size, ways=1)
+    assoc = SetAssociativeCache(size, line_size, ways=1, policy=policy)
     for addr, span in accesses:
         assert direct.access(addr, span) == assoc.access(addr, span)
     assert direct.stats.misses == assoc.stats.misses
     assert direct.stats.hits == assoc.stats.hits
+    assert direct.stats.evictions == assoc.stats.evictions
     assert direct.resident_lines() == assoc.resident_lines()
+
+
+#: Spans sized in *lines* relative to the cache so the vectorized
+#: access_span boundary (count == num_lines, where the fast path hands
+#: off to the scalar loop) is actually crossed: with 8–64 lines per
+#: cache, relative spans of num_lines - 2 .. num_lines + 2 lines all
+#: occur, on warm as well as cold tag state.
+BOUNDARY_OPS = st.lists(
+    st.tuples(st.integers(0, 4096), st.integers(-2, 2)),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, ops=BOUNDARY_OPS)
+def test_span_boundary_full_stats_parity(size, line_size, ops):
+    """Full CacheStats parity across the count == num_lines boundary.
+
+    The vectorized access_span path is only taken while the span covers
+    at most num_lines lines; the first span past that falls back to the
+    scalar loop mid-sequence.  Hits, misses, *and* evictions — not just
+    the returned miss counts — must agree with the pure scalar path at
+    exactly that hand-off, on whatever warm state earlier spans left."""
+    fast = DirectMappedCache(size, line_size)
+    slow = DirectMappedCache(size, line_size)
+    num_lines = fast.num_lines
+    for addr, delta in ops:
+        # delta is lines relative to the boundary; size straddles it.
+        span = (num_lines + delta) * line_size - addr % line_size
+        if span <= 0:
+            continue
+        assert fast.access_span(addr, span) == super(
+            DirectMappedCache, slow
+        ).access_span(addr, span)
+        assert fast.stats.snapshot() == slow.stats.snapshot()
+    assert fast.stats.hits == slow.stats.hits
+    assert fast.stats.misses == slow.stats.misses
+    assert fast.stats.evictions == slow.stats.evictions
+    assert fast.resident_lines() == slow.resident_lines()
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, ways=WAYS, accesses=ACCESSES)
+def test_fifo_counters_sane(size, line_size, ways, accesses):
+    """Counter sanity holds for the FIFO replacement policy too."""
+    cache = SetAssociativeCache(size, line_size, ways=ways, policy="fifo")
+    for addr, span in accesses:
+        cache.access(addr, span)
+    stats = cache.stats
+    assert stats.misses <= stats.accesses
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.evictions <= stats.misses
+    assert len(cache.resident_lines()) <= cache.num_lines
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, ways=WAYS, accesses=ACCESSES)
+def test_fifo_never_beats_itself_on_occupancy(size, line_size, ways, accesses):
+    """LRU and FIFO see identical miss sets on cold sequential fills;
+    they may diverge only once eviction order matters.  Either way the
+    two policies' *accesses* agree exactly (the access stream is policy
+    independent) and both respect capacity."""
+    lru = SetAssociativeCache(size, line_size, ways=ways, policy="lru")
+    fifo = SetAssociativeCache(size, line_size, ways=ways, policy="fifo")
+    for addr, span in accesses:
+        lru.access(addr, span)
+        fifo.access(addr, span)
+    assert lru.stats.accesses == fifo.stats.accesses
+    assert len(lru.resident_lines()) <= lru.num_lines
+    assert len(fifo.resident_lines()) <= fifo.num_lines
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=SIZES, line_size=LINE_SIZES, ways=WAYS, accesses=ACCESSES)
+@pytest.mark.parametrize("policy", ["lru", "fifo"])
+def test_flush_behavior_matches_direct_mapped(
+    policy, size, line_size, ways, accesses
+):
+    """After flush(), both cache classes agree: no resident lines,
+    statistics preserved, and the refill of a previously-resident span
+    misses without counting evictions (the slots are empty, not
+    occupied) — the documented DirectMappedCache contract."""
+    direct = DirectMappedCache(size, line_size)
+    assoc = SetAssociativeCache(size, line_size, ways=ways, policy=policy)
+    for addr, span in accesses:
+        direct.access(addr, span)
+        assoc.access(addr, span)
+    for cache in (direct, assoc):
+        stats_before = cache.stats.snapshot()
+        cache.flush()
+        assert cache.resident_lines() == set()
+        assert cache.stats.snapshot() == stats_before
+        evictions_before = cache.stats.evictions
+        cache.access_line(0)
+        assert cache.stats.evictions == evictions_before
+        assert cache.contains_line(0)
 
 
 # ----------------------------------------------------------------------
