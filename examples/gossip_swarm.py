@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gossip swarm: sessions and collections as wire-level LDLP.
+
+Simulates a Dispersy-style gossip community — thousands of peers with
+Zipf-skewed popularity exchanging synchronize/acknowledgment control
+traffic and batched data collections — through the paper's modeled
+stack.  Two protocol knobs mirror the paper's batching argument at the
+wire: *session framing* replaces the 22 bytes of version and community
+identity in every header with a 4-byte session id, and
+*dispersy-collection* packs many small messages into one datagram so
+the per-datagram overhead is paid once per batch.
+
+Run:  python examples/gossip_swarm.py
+"""
+
+from repro.flows import FlowCacheSpec
+from repro.gossip import GossipFleetSource, GossipFleetSpec, run_gossip_simulation
+from repro.sim import SimulationConfig
+
+
+def run(
+    framing: str,
+    collection_size: int,
+    scheduler: str = "ldlp",
+    rate: float = 9000.0,
+    duration: float = 0.05,
+    num_peers: int = 5000,
+    seed: int = 7,
+):
+    """Drive one fleet configuration and return its GossipRunResult."""
+    spec = GossipFleetSpec(
+        num_peers=num_peers,
+        peer_skew=1.1,
+        framing=framing,
+        collection_size=collection_size,
+        rate=rate,
+        seed=seed,
+    )
+    config = SimulationConfig(scheduler=scheduler, duration=duration)
+    return run_gossip_simulation(
+        GossipFleetSource(spec), config, FlowCacheSpec(entries=16), seed=seed
+    )
+
+
+def describe(scheduler: str) -> None:
+    """Print the framing x collection grid for one scheduler."""
+    print(f"--- scheduler {scheduler} " + "-" * 40)
+    print(
+        f"{'framing':>12} {'k':>3} {'hdrB/msg':>9} {'wireB/msg':>10}"
+        f" {'miss/msg':>9} {'untagged':>9} {'drops':>6}"
+    )
+    for framing in ("sessionless", "session"):
+        for collection_size in (1, 4, 16):
+            result = run(framing, collection_size, scheduler=scheduler)
+            print(
+                f"{framing:>12} {collection_size:>3}"
+                f" {result.header_bytes_per_message:>9.1f}"
+                f" {result.wire_bytes_per_message:>10.1f}"
+                f" {result.lookup_misses_per_message:>9.3f}"
+                f" {result.untagged:>9}"
+                f" {result.run.dropped:>6}"
+            )
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    describe("conventional")
+    describe("ldlp")
+    print(
+        "Reading the grid: sessions cut header bytes per message at every\n"
+        "collection size, and growing the collection amortizes the fixed\n"
+        "28-byte datagram overhead across its members — the same curve\n"
+        "shape as LDLP's instruction-miss amortization, applied to wire\n"
+        "bytes.  The lookup misses come from the Zipf-skewed peer\n"
+        "destinations hitting the 16-entry flow cache; untagged counts\n"
+        "the walker control messages, which resolve no destination and\n"
+        "pay a full table walk each."
+    )
+
+
+if __name__ == "__main__":
+    main()

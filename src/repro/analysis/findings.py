@@ -159,6 +159,15 @@ RULES: dict[str, Rule] = {
             "the golden gate.",
         ),
         Rule(
+            "HARN004",
+            "unexercised-framing-mode",
+            Severity.ERROR,
+            "Reproduction methodology",
+            "A gossip framing mode registered in repro.gossip.wire is "
+            "not exercised by any gossip sweep point at any scale; its "
+            "wire layout would drift unpinned by the golden gate.",
+        ),
+        Rule(
             "MBUF003",
             "mbuf-leak",
             Severity.WARNING,

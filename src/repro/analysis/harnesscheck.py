@@ -330,13 +330,59 @@ def check_flow_org_coverage() -> list[Finding]:
     ]
 
 
+def check_framing_coverage() -> list[Finding]:
+    """HARN004 findings: framing modes no gossip sweep point exercises.
+
+    The wire-protocol twin of HARN002/HARN003: every framing mode
+    registered in :data:`repro.gossip.wire.FRAMING_MODES` must appear
+    as the ``framing`` parameter of at least one ``gossip`` sweep point
+    at some scale, or its header layout could change without tripping
+    any golden — and the session-vs-sessionless savings pin would
+    silently stop comparing anything.
+    """
+    from ..gossip.wire import FRAMING_MODES
+    from ..harness.registry import get_spec
+
+    spec = get_spec("gossip")
+    exercised: set[str] = set()
+    for scale in SCALES:
+        try:
+            points = spec.points_for(scale)
+        except (KeyError, ConfigurationError):
+            continue
+        for point in points:
+            name = point.params.get("framing")
+            if name is not None:
+                exercised.add(str(name))
+    missing = sorted(set(FRAMING_MODES) - exercised)
+    return [
+        Finding(
+            rule_id="HARN004",
+            message=(
+                f"framing mode {name!r} is registered in "
+                f"repro.gossip.wire.FRAMING_MODES but exercised by "
+                f"no gossip sweep point at any scale — its wire layout "
+                f"is unpinned by the golden gate "
+                f"(exercised: {', '.join(sorted(exercised)) or 'none'})"
+            ),
+            target="experiment:gossip",
+            details={
+                "framing": name,
+                "exercised": sorted(exercised),
+            },
+        )
+        for name in missing
+    ]
+
+
 def check_all_specs() -> list[Finding]:
     """HARN findings across every registered experiment.
 
     HARN001 (undeclared cache sources) for each spec, plus HARN002
-    (dispatch-policy sweep coverage) for the multicore experiment and
+    (dispatch-policy sweep coverage) for the multicore experiment,
     HARN003 (flow-cache-organization sweep coverage) for the flows
-    experiment.
+    experiment, and HARN004 (framing-mode sweep coverage) for the
+    gossip experiment.
     """
     from ..harness.registry import all_specs
 
@@ -345,4 +391,5 @@ def check_all_specs() -> list[Finding]:
         findings.extend(check_spec(spec))
     findings.extend(check_dispatch_coverage())
     findings.extend(check_flow_org_coverage())
+    findings.extend(check_framing_coverage())
     return findings

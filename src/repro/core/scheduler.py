@@ -27,7 +27,7 @@ from ..errors import GroupingError, SchedulerError
 from ..obs.runtime import active_recorder
 from .batching import BatchPolicy
 from .binding import MachineBinding
-from .dispatch import flow_of
+from .dispatch import FLOW_KEY
 from .layer import Layer, Message
 from .overload import DropPolicy, TailDrop
 
@@ -43,6 +43,14 @@ def charge_flow_lookups(scheduler: "Scheduler", batch: list[Message]) -> None:
     :func:`take_batch` and pay one lookup per *distinct* flow — the
     layer holds the resolved destination state while sweeping the
     batch, exactly as it holds layer code resident.
+
+    Messages with no :data:`~repro.core.dispatch.FLOW_KEY` tag are
+    passed through as ``None`` rather than coerced to flow 0: an
+    untagged message (gossip control traffic) has no cacheable
+    destination, so it must not deduplicate against other untagged
+    messages or against a genuinely tagged flow 0.
+    :meth:`~repro.flows.lookup.FlowLookup.charge_batch` charges each
+    one a full table walk.
     """
     binding = scheduler.binding
     if binding is None or not batch:
@@ -50,7 +58,9 @@ def charge_flow_lookups(scheduler: "Scheduler", batch: list[Message]) -> None:
     lookup = binding.flow_lookup
     if lookup is None:
         return
-    lookup.charge_batch(binding, [flow_of(message) for message in batch])
+    lookup.charge_batch(
+        binding, [message.meta.get(FLOW_KEY) for message in batch]
+    )
 
 
 @dataclass(frozen=True)

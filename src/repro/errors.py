@@ -97,3 +97,13 @@ class ObsError(ReproError):
 
 class SignallingError(ProtocolError):
     """A signalling (mini-Q.93B) protocol violation."""
+
+
+class WireError(ProtocolError):
+    """A gossip wire-format message is malformed or cannot be framed.
+
+    Raised by :mod:`repro.gossip.wire` when encoding is asked for an
+    unknown message kind or framing mode, when a collection element
+    exceeds the 16-bit length field, or when decoding runs off the end
+    of a datagram.
+    """

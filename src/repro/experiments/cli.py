@@ -43,6 +43,7 @@ from . import (
     figure7,
     figure8,
     flows,
+    gossip,
     motivation,
     multicore,
     schedules,
@@ -69,6 +70,7 @@ EXPERIMENTS = {
     "motivation": lambda args: print(motivation.run().render()),
     "multicore": lambda args: multicore.main(),
     "flows": lambda args: flows.main(),
+    "gossip": lambda args: gossip.main(),
     "analyze": lambda args: _analyze(args),
 }
 

@@ -127,6 +127,8 @@ class FlowLookup:
     lookups: int = field(default=0, init=False)
     #: Lookups messages would have performed without batch dedup.
     demand: int = field(default=0, init=False)
+    #: Full table walks by messages carrying *no* flow tag at all.
+    untagged: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.cache = make_flow_cache(self.spec.organization, self.spec.entries)
@@ -143,13 +145,22 @@ class FlowLookup:
             return self.spec.miss_cycles
         return self.spec.hit_cycles
 
-    def charge_batch(self, binding, flows: list[int]) -> float:
+    def charge_batch(self, binding, flows: list[int | None]) -> float:
         """Charge one service batch's lookups to the bound CPU.
 
         Looks up the first occurrence of each distinct flow in the
         batch (order-preserving, so the cache sees flows in arrival
         order), executes the summed cost on ``binding.cpu``, and bumps
         the ``flows.*`` obs counters.  Returns the cycles charged.
+
+        A ``None`` entry is a message with *no* flow tag — there is no
+        destination to cache, so it can neither be deduplicated against
+        other untagged messages nor share a resolved route with tagged
+        flow 0.  Each one pays the full ``miss_cycles`` table walk
+        without touching the cache (the mixed control/data batches of
+        the gossip workload are the motivating case; collapsing them
+        onto flow 0 was the dedup-accounting bug this distinction
+        fixes).
         """
         from ..obs.runtime import active_recorder
 
@@ -159,23 +170,32 @@ class FlowLookup:
         misses_before = self.stats.misses
         hits_before = self.stats.hits
         performed = 0
+        walked = 0
         for flow in flows:
+            if flow is None:
+                walked += 1
+                cycles += self.spec.miss_cycles
+                continue
             if flow in seen:
                 continue
             seen.add(flow)
             cycles += self.lookup(flow)
             performed += 1
+        self.lookups += walked
+        self.untagged += walked
         if cycles:
             binding.cpu.execute(cycles)
         recorder = active_recorder()
-        if recorder is not None and performed:
-            recorder.count("flows.lookups", float(performed))
+        if recorder is not None and (performed or walked):
+            recorder.count("flows.lookups", float(performed + walked))
             recorder.count(
                 "flows.hits", float(self.stats.hits - hits_before)
             )
             recorder.count(
                 "flows.misses", float(self.stats.misses - misses_before)
             )
+            if walked:
+                recorder.count("flows.untagged", float(walked))
         return cycles
 
     def describe(self) -> dict:
@@ -184,6 +204,7 @@ class FlowLookup:
         description.update(
             lookups=self.lookups,
             demand=self.demand,
+            untagged=self.untagged,
             hits=self.stats.hits,
             misses=self.stats.misses,
             evictions=self.stats.evictions,

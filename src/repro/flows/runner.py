@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.dispatch import FLOW_KEY
 from ..core.layer import Message
+from ..errors import ConfigurationError
 from ..sim.runner import (
     SimulationConfig,
     assemble_run_result,
@@ -34,6 +35,7 @@ from ..sim.runner import (
 )
 from ..sim.stats import RunResult, merge_results
 from ..traffic.base import Arrival, TrafficSource
+from ..traffic.onoff import ParetoOnOffSource
 from ..traffic.poisson import PoissonSource
 from ..traffic.zipf import ZipfFlowSource
 from .lookup import FlowCacheSpec
@@ -56,6 +58,10 @@ class FlowRunResult:
     hits: int
     misses: int
     evictions: int
+    #: Table walks by untagged messages (no FLOW_KEY meta at all);
+    #: always zero here — run_flow_simulation tags every message — but
+    #: carried so gossip's mixed control/data runs share this type.
+    untagged: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -78,6 +84,7 @@ class FlowRunResult:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "untagged": self.untagged,
         }
 
     @classmethod
@@ -90,6 +97,9 @@ class FlowRunResult:
             hits=int(data["hits"]),
             misses=int(data["misses"]),
             evictions=int(data["evictions"]),
+            # Absent in pre-gossip cached results; they had no way to
+            # produce untagged walks.
+            untagged=int(data.get("untagged", 0)),
         )
 
 
@@ -102,6 +112,7 @@ def merge_flow_results(results: list[FlowRunResult]) -> FlowRunResult:
         hits=sum(result.hits for result in results),
         misses=sum(result.misses for result in results),
         evictions=sum(result.evictions for result in results),
+        untagged=sum(result.untagged for result in results),
     )
 
 
@@ -150,6 +161,34 @@ def run_flow_simulation(
         hits=lookup.stats.hits,
         misses=lookup.stats.misses,
         evictions=lookup.stats.evictions,
+        untagged=lookup.untagged,
+    )
+
+
+def make_flow_base(
+    base: str, rate: float, message_size: int, seed: int
+) -> TrafficSource:
+    """Build the base arrival process for one flow-tagged run.
+
+    ``"poisson"`` is the memoryless classic; ``"bellcore"`` is the
+    self-similar Pareto ON/OFF aggregate
+    (:class:`~repro.traffic.onoff.ParetoOnOffSource`) configured so its
+    long-run mean rate equals ``rate`` — the bursty base whose stateful
+    RNG is exactly what the ZipfFlowSource snapshot fix protects.
+    """
+    if base == "poisson":
+        return PoissonSource(rate, size=message_size, rng=seed)
+    if base == "bellcore":
+        num_sources = 16
+        source = ParetoOnOffSource(
+            num_sources=num_sources,
+            packet_rate_on=rate / (num_sources * 0.2),
+            size=message_size,
+            rng=seed,
+        )
+        return source
+    raise ConfigurationError(
+        f"unknown flow base {base!r}; expected 'poisson' or 'bellcore'"
     )
 
 
@@ -167,19 +206,22 @@ def flows_point(
     hit_cycles: float = 4.0,
     miss_cycles: float = 120.0,
     engine: str = "vec",
+    base: str = "poisson",
 ) -> dict[str, Any]:
     """One (scheduler, organization, entries, skew) sweep point.
 
     Module-level and fully determined by its JSON parameters (the
     harness contract: parallel workers resolve it by dotted name, the
-    result cache keys it by content hash).  Per seed, a Poisson stream
-    at ``rate`` is flow-tagged by a Zipf(``skew``) draw over
-    ``num_flows`` destinations and driven through the flow-charged
-    stack; results merge across seeds.  The conservation audit counts
-    seeds where ``offered != completed + dropped`` — lookup charging
-    must neither create nor lose messages.  ``engine`` is accepted for
-    harness engine pinning; flow-charged runs always fall back to the
-    scalar loop, so both engines return identical bytes.
+    result cache keys it by content hash).  Per seed, a base stream at
+    mean ``rate`` — Poisson by default, the Bellcore-style self-similar
+    aggregate with ``base="bellcore"`` — is flow-tagged by a
+    Zipf(``skew``) draw over ``num_flows`` destinations and driven
+    through the flow-charged stack; results merge across seeds.  The
+    conservation audit counts seeds where
+    ``offered != completed + dropped`` — lookup charging must neither
+    create nor lose messages.  ``engine`` is accepted for harness
+    engine pinning; flow-charged runs always fall back to the scalar
+    loop, so both engines return identical bytes.
     """
     cache = FlowCacheSpec(
         entries=entries,
@@ -197,7 +239,7 @@ def flows_point(
     violations = 0
     for seed in seeds:
         source = ZipfFlowSource(
-            PoissonSource(rate, size=message_size, rng=seed),
+            make_flow_base(base, rate, message_size, seed),
             num_flows=num_flows,
             skew=skew,
             seed=seed,

@@ -1,0 +1,272 @@
+"""Driving gossip fleets through the modeled stack.
+
+Glue between :mod:`repro.gossip.fleet` and the existing machinery: a
+:class:`~repro.gossip.fleet.GossipFleetSource` supplies byte-accurate
+datagram arrivals, each data datagram is tagged with its destination
+peer (:data:`~repro.core.dispatch.FLOW_KEY`) and message kind
+(:data:`~repro.core.dispatch.APP_CLASS_KEY`), a flow-lookup cache is
+attached to the binding, and the standard drive loop runs.  Control
+datagrams (synchronize / acknowledgment walker traffic) deliberately
+carry *no* flow tag — they have no cacheable destination — so every
+service batch mixes tagged and untagged messages, exercising the
+untagged-walk accounting in
+:meth:`repro.flows.lookup.FlowLookup.charge_batch`.
+
+:func:`gossip_point` is the harness sweep point: framing mode ×
+collection batch size × scheduler × drop policy, with wire-level
+header/byte totals carried alongside the standard run result so the
+``gossip`` experiment can pin header-bytes/msg savings from sessions
+and lookup-misses/msg under peer skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.dispatch import APP_CLASS_KEY, FLOW_KEY
+from ..core.layer import Message
+from ..flows.lookup import FlowCacheSpec
+from ..sim.runner import (
+    SimulationConfig,
+    assemble_run_result,
+    build_scheduler,
+    drive,
+)
+from ..sim.stats import RunResult, merge_results
+from .fleet import GossipFleetSource, GossipFleetSpec
+from .wire import CONTROL_KINDS
+
+
+@dataclass(frozen=True)
+class GossipRunResult:
+    """One gossip run: standard result + lookup + wire accounting.
+
+    ``datagrams`` / ``messages`` / ``header_bytes`` / ``wire_bytes``
+    total over the *offered* stream (a pure function of the fleet spec,
+    independent of drops), so the header-bytes/msg headline compares
+    framing modes on identical traffic.  The lookup counters mirror
+    :class:`repro.flows.runner.FlowRunResult`, plus ``untagged`` — the
+    control-datagram table walks that have no cacheable destination.
+    """
+
+    run: RunResult
+    lookups: int
+    demand: int
+    hits: int
+    misses: int
+    evictions: int
+    untagged: int
+    datagrams: int
+    messages: int
+    header_bytes: int
+    wire_bytes: int
+
+    @property
+    def header_bytes_per_message(self) -> float:
+        """Non-payload wire bytes per logical message offered."""
+        return self.header_bytes / max(self.messages, 1)
+
+    @property
+    def wire_bytes_per_message(self) -> float:
+        """Total wire bytes per logical message offered."""
+        return self.wire_bytes / max(self.messages, 1)
+
+    @property
+    def lookup_misses_per_message(self) -> float:
+        """Cached-lookup table walks per completed datagram."""
+        return self.misses / max(self.run.completed, 1)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of *tagged* lookups served from the cache."""
+        performed = self.lookups - self.untagged
+        if performed == 0:
+            return float("nan")
+        return self.hits / performed
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (harness result cache)."""
+        return {
+            "run": self.run.to_dict(),
+            "lookups": self.lookups,
+            "demand": self.demand,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "untagged": self.untagged,
+            "datagrams": self.datagrams,
+            "messages": self.messages,
+            "header_bytes": self.header_bytes,
+            "wire_bytes": self.wire_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GossipRunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            run=RunResult.from_dict(data["run"]),
+            lookups=int(data["lookups"]),
+            demand=int(data["demand"]),
+            hits=int(data["hits"]),
+            misses=int(data["misses"]),
+            evictions=int(data["evictions"]),
+            untagged=int(data["untagged"]),
+            datagrams=int(data["datagrams"]),
+            messages=int(data["messages"]),
+            header_bytes=int(data["header_bytes"]),
+            wire_bytes=int(data["wire_bytes"]),
+        )
+
+
+def merge_gossip_results(results: list[GossipRunResult]) -> GossipRunResult:
+    """Merge per-seed runs: averaged run stats, summed counters."""
+    return GossipRunResult(
+        run=merge_results([result.run for result in results]),
+        lookups=sum(result.lookups for result in results),
+        demand=sum(result.demand for result in results),
+        hits=sum(result.hits for result in results),
+        misses=sum(result.misses for result in results),
+        evictions=sum(result.evictions for result in results),
+        untagged=sum(result.untagged for result in results),
+        datagrams=sum(result.datagrams for result in results),
+        messages=sum(result.messages for result in results),
+        header_bytes=sum(result.header_bytes for result in results),
+        wire_bytes=sum(result.wire_bytes for result in results),
+    )
+
+
+def run_gossip_simulation(
+    source: GossipFleetSource,
+    config: SimulationConfig | None = None,
+    cache: FlowCacheSpec | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> GossipRunResult:
+    """Run one gossip fleet through the flow-charged stack.
+
+    Data datagrams are tagged with their destination peer under
+    :data:`~repro.core.dispatch.FLOW_KEY` and their kind under
+    :data:`~repro.core.dispatch.APP_CLASS_KEY`; control datagrams get
+    the app-class tag only, leaving the flow untagged on purpose —
+    walker traffic resolves no destination, so it must pay the full
+    table walk and must not alias tagged flow 0.
+    """
+    config = config or SimulationConfig()
+    cache = cache or FlowCacheSpec()
+    scheduler = build_scheduler(config, seed)
+    binding = scheduler.binding
+    assert binding is not None
+    binding.flow_lookup = cache.build()
+
+    stream = source.arrival_list(config.duration)
+    datagrams = len(stream)
+    messages = 0
+    header_bytes = 0
+    wire_bytes = 0
+    timestamped = []
+    for a in stream:
+        message = Message(size=a.size, arrival_time=a.time)
+        message.meta[APP_CLASS_KEY] = a.kind
+        if a.kind not in CONTROL_KINDS:
+            message.meta[FLOW_KEY] = int(a.flow)
+        timestamped.append((a.time, message))
+        messages += a.messages
+        header_bytes += a.header_bytes
+        wire_bytes += a.size
+    outcome = drive(
+        scheduler,
+        timestamped,
+        flush_period_cycles=config.flush_period_cycles,
+        engine=config.engine,
+    )
+    run = assemble_run_result(scheduler, outcome, source, stream, config)
+    lookup = binding.flow_lookup
+    return GossipRunResult(
+        run=run,
+        lookups=lookup.lookups,
+        demand=lookup.demand,
+        hits=lookup.stats.hits,
+        misses=lookup.stats.misses,
+        evictions=lookup.stats.evictions,
+        untagged=lookup.untagged,
+        datagrams=datagrams,
+        messages=messages,
+        header_bytes=header_bytes,
+        wire_bytes=wire_bytes,
+    )
+
+
+def gossip_point(
+    framing: str,
+    collection_size: int,
+    scheduler: str,
+    policy: str,
+    rate: float,
+    seeds: list[int],
+    duration: float,
+    num_peers: int = 10_000,
+    num_communities: int = 4,
+    peer_skew: float = 1.1,
+    data_fraction: float = 0.75,
+    data_payload_bytes: int = 67,
+    entries: int = 16,
+    organization: str = "direct",
+    hit_cycles: float = 4.0,
+    miss_cycles: float = 120.0,
+    engine: str = "vec",
+) -> dict[str, Any]:
+    """One (framing, collection size, scheduler, drop policy) point.
+
+    Module-level and fully determined by its JSON parameters (the
+    harness contract).  Per seed, a fresh fleet spec drives one run;
+    results merge across seeds.  The conservation audit counts seeds
+    where ``offered != completed + dropped`` — the gossip tagging path
+    must neither create nor lose datagrams.  ``engine`` is accepted for
+    harness engine pinning; flow-charged runs always take the scalar
+    loop, so both engines return identical bytes.
+    """
+    cache = FlowCacheSpec(
+        entries=entries,
+        organization=organization,
+        hit_cycles=hit_cycles,
+        miss_cycles=miss_cycles,
+    )
+    config = SimulationConfig(
+        scheduler=scheduler,
+        duration=duration,
+        drop_policy=policy,
+        engine=engine,
+    )
+    results = []
+    violations = 0
+    for seed in seeds:
+        spec = GossipFleetSpec(
+            num_peers=num_peers,
+            num_communities=num_communities,
+            peer_skew=peer_skew,
+            framing=framing,
+            collection_size=collection_size,
+            data_fraction=data_fraction,
+            data_payload_bytes=data_payload_bytes,
+            rate=rate,
+            seed=seed,
+        )
+        result = run_gossip_simulation(
+            GossipFleetSource(spec), config, cache, seed=seed
+        )
+        run = result.run
+        if run.offered != run.completed + run.dropped:
+            violations += 1
+        results.append(result)
+    merged = merge_gossip_results(results)
+    return {
+        "result": merged.to_dict(),
+        "framing": framing,
+        "collection_size": collection_size,
+        "header_bytes_per_message": merged.header_bytes_per_message,
+        "wire_bytes_per_message": merged.wire_bytes_per_message,
+        "lookup_misses_per_message": merged.lookup_misses_per_message,
+        "conservation_violations": violations,
+    }

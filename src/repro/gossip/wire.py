@@ -1,0 +1,328 @@
+"""Byte-accurate Dispersy-style gossip wire formats.
+
+The wire-protocol document excerpted in ``SNIPPETS.md`` (the Dispersy
+2.0 draft) describes a real small-message system making exactly the
+paper's trade: per-message header/state overhead dominates once
+payloads are tens of bytes, so the protocol (a) negotiates *sessions*
+that replace the dispersy version, community version, and 20-byte
+community identifier with a 4-byte session identifier in every
+non-syncable message, and (b) packs many small messages into one
+``dispersy-collection`` datagram — LDLP batching applied at the wire.
+
+This module implements those formats byte-for-byte (big-endian, as the
+document specifies) so the fleet generator's datagram sizes are exact:
+
+* :data:`FRAMING_MODES` — the two framing modes, ``session`` (13-byte
+  header: session identifier, message identifier, global time) and
+  ``sessionless`` (31-byte header: dispersy version, community version,
+  20-byte community identifier, message identifier, global time);
+* :func:`encode_message` / :func:`decode_message` — one framed message;
+* :func:`encode_collection` / :func:`decode_collection` — the
+  repeating ``(2-byte length, message)`` container;
+* :func:`datagram_accounting` — the (wire bytes, header bytes, logical
+  messages) triple one datagram contributes, used by
+  :mod:`repro.gossip.fleet` to feed the footprint/cache model and by
+  the ``gossip`` experiment to pin header-bytes/msg savings.
+
+The HARN004 analysis rule pins that every mode registered in
+:data:`FRAMING_MODES` is exercised by some ``gossip`` sweep point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..errors import WireError
+
+#: Message-identifier byte per message kind.  ``identity`` is #248 per
+#: the wire document; the renamed walker messages and the new
+#: collection/acknowledgment messages have no published number in the
+#: draft, so they take the adjacent reserved values, and ``data`` is a
+#: community-defined payload message (identifiers below #238 are left
+#: to communities).
+MESSAGE_IDS: Dict[str, int] = {
+    "identity": 248,
+    "synchronize": 246,
+    "synchronize-ack": 245,
+    "acknowledgment": 244,
+    "collection": 242,
+    "data": 16,
+}
+
+#: Inverse of :data:`MESSAGE_IDS` (wire id -> kind).
+KIND_BY_ID: Dict[int, str] = {wire_id: kind for kind, wire_id in MESSAGE_IDS.items()}
+
+#: Message kinds that are control traffic (the walker and its
+#: acknowledgments); everything else is community data.  Control
+#: messages carry no destination flow — the gossip runner leaves them
+#: untagged, which is what exercises mixed tagged/untagged batches in
+#: the flow-lookup accounting.
+CONTROL_KINDS = ("synchronize", "synchronize-ack", "acknowledgment")
+
+#: Default payload sizes (bytes) of the control messages: a
+#: synchronize carries LAN/WAN addresses plus a bloom filter, its
+#: acknowledgment echoes the addresses, and a bare acknowledgment is a
+#: couple of global times.
+CONTROL_PAYLOAD_BYTES: Dict[str, int] = {
+    "synchronize": 137,
+    "synchronize-ack": 53,
+    "acknowledgment": 21,
+}
+
+#: Modeled per-datagram transport overhead: an IPv4 header (20 bytes)
+#: plus a UDP header (8 bytes).  Packing messages into one collection
+#: datagram amortizes exactly this plus the outer framing header.
+DATAGRAM_OVERHEAD_BYTES = 28
+
+#: struct format of the session header: session identifier (4),
+#: message identifier (1), global time (8) — all big endian.
+_SESSION_HEADER = struct.Struct(">IBQ")
+
+#: struct format of the sessionless header: dispersy version (1),
+#: community version (1), community identifier (20), message
+#: identifier (1), global time (8).
+_SESSIONLESS_HEADER = struct.Struct(">BB20sBQ")
+
+#: struct format of one collection element's length prefix.
+_ELEMENT_LENGTH = struct.Struct(">H")
+
+
+@dataclass(frozen=True)
+class WireIdentity:
+    """Everything a header needs besides the message kind and time.
+
+    ``session_id`` feeds the session framing; the version pair and the
+    20-byte ``community_id`` feed the sessionless framing.  One frozen
+    value serves both modes so framing can be swept over the same
+    population without re-deriving identities.
+    """
+
+    session_id: int = 0
+    dispersy_version: int = 2
+    community_version: int = 1
+    community_id: bytes = b"\x00" * 20
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.session_id <= 0xFFFFFFFF:
+            raise WireError(f"session id out of range: {self.session_id}")
+        if not 0 <= self.dispersy_version <= 0xFF:
+            raise WireError(f"dispersy version out of range: {self.dispersy_version}")
+        if not 0 <= self.community_version <= 0xFF:
+            raise WireError(
+                f"community version out of range: {self.community_version}"
+            )
+        if len(self.community_id) != 20:
+            raise WireError(
+                f"community id must be 20 bytes, got {len(self.community_id)}"
+            )
+
+
+def community_identifier(community: int) -> bytes:
+    """The 20-byte community identifier of one modeled community.
+
+    Real Dispersy uses the SHA-1 digest of the community's master
+    public key; the model derives the digest from the community index,
+    which has the same length and the same per-community stability.
+    """
+    return hashlib.sha1(f"gossip:community:{community}".encode("utf-8")).digest()
+
+
+@dataclass(frozen=True)
+class FramingSpec:
+    """One framing mode: its name and fixed per-message header size."""
+
+    name: str
+    header_bytes: int
+
+    def pack_header(self, kind: str, identity: WireIdentity, global_time: int) -> bytes:
+        """Encode one message header under this framing."""
+        wire_id = _message_id(kind)
+        if not 0 <= global_time <= 0xFFFFFFFFFFFFFFFF:
+            raise WireError(f"global time out of range: {global_time}")
+        if self.name == "session":
+            return _SESSION_HEADER.pack(identity.session_id, wire_id, global_time)
+        return _SESSIONLESS_HEADER.pack(
+            identity.dispersy_version,
+            identity.community_version,
+            identity.community_id,
+            wire_id,
+            global_time,
+        )
+
+    def unpack_header(self, data: bytes) -> tuple[str, WireIdentity, int]:
+        """Decode ``(kind, identity, global_time)`` from a header."""
+        if len(data) < self.header_bytes:
+            raise WireError(
+                f"datagram too short for {self.name} header: {len(data)} "
+                f"< {self.header_bytes} bytes"
+            )
+        if self.name == "session":
+            session_id, wire_id, global_time = _SESSION_HEADER.unpack_from(data)
+            identity = WireIdentity(session_id=session_id)
+        else:
+            (
+                dispersy_version,
+                community_version,
+                community_id,
+                wire_id,
+                global_time,
+            ) = _SESSIONLESS_HEADER.unpack_from(data)
+            identity = WireIdentity(
+                dispersy_version=dispersy_version,
+                community_version=community_version,
+                community_id=community_id,
+            )
+        kind = KIND_BY_ID.get(wire_id)
+        if kind is None:
+            raise WireError(f"unknown message identifier {wire_id}")
+        return kind, identity, global_time
+
+
+#: Registered framing modes.  ``session`` is the negotiated-session
+#: header of the 2.0 draft; ``sessionless`` is the 1.x-style header
+#: every message must carry when no session exists.  HARN004 pins that
+#: every mode here is exercised by the ``gossip`` experiment sweep.
+FRAMING_MODES: Dict[str, FramingSpec] = {
+    "session": FramingSpec("session", _SESSION_HEADER.size),
+    "sessionless": FramingSpec("sessionless", _SESSIONLESS_HEADER.size),
+}
+
+
+def _message_id(kind: str) -> int:
+    """The wire identifier byte for one message kind."""
+    try:
+        return MESSAGE_IDS[kind]
+    except KeyError:
+        raise WireError(
+            f"unknown message kind {kind!r}; expected one of "
+            f"{tuple(sorted(MESSAGE_IDS))}"
+        ) from None
+
+
+def framing(mode: str) -> FramingSpec:
+    """Resolve a registered framing mode by name."""
+    try:
+        return FRAMING_MODES[mode]
+    except KeyError:
+        raise WireError(
+            f"unknown framing mode {mode!r}; expected one of "
+            f"{tuple(sorted(FRAMING_MODES))}"
+        ) from None
+
+
+def encode_message(
+    mode: str,
+    kind: str,
+    identity: WireIdentity,
+    global_time: int,
+    payload: bytes,
+) -> bytes:
+    """Encode one framed message: header followed by the raw payload."""
+    return framing(mode).pack_header(kind, identity, global_time) + payload
+
+
+def decode_message(
+    mode: str, data: bytes
+) -> tuple[str, WireIdentity, int, bytes]:
+    """Decode ``(kind, identity, global_time, payload)`` from a datagram."""
+    spec = framing(mode)
+    kind, identity, global_time = spec.unpack_header(data)
+    return kind, identity, global_time, data[spec.header_bytes :]
+
+
+def encode_collection(
+    mode: str,
+    identity: WireIdentity,
+    global_time: int,
+    elements: Sequence[bytes],
+) -> bytes:
+    """Encode a ``dispersy-collection`` datagram.
+
+    The payload is the document's repeating element: one or more
+    ``(unsigned short length, message)`` pairs, each ``message`` a
+    complete framed message of its own.
+    """
+    if not elements:
+        raise WireError("a collection must contain at least one message")
+    parts = [framing(mode).pack_header("collection", identity, global_time)]
+    for element in elements:
+        if len(element) > 0xFFFF:
+            raise WireError(
+                f"collection element of {len(element)} bytes exceeds the "
+                f"16-bit length field"
+            )
+        parts.append(_ELEMENT_LENGTH.pack(len(element)))
+        parts.append(element)
+    return b"".join(parts)
+
+
+def decode_collection(mode: str, data: bytes) -> list[bytes]:
+    """Decode a collection datagram back into its framed elements."""
+    spec = framing(mode)
+    kind, _, _ = spec.unpack_header(data)
+    if kind != "collection":
+        raise WireError(f"not a collection datagram: kind {kind!r}")
+    elements: list[bytes] = []
+    offset = spec.header_bytes
+    while offset < len(data):
+        if offset + _ELEMENT_LENGTH.size > len(data):
+            raise WireError("truncated collection element length")
+        (length,) = _ELEMENT_LENGTH.unpack_from(data, offset)
+        offset += _ELEMENT_LENGTH.size
+        if offset + length > len(data):
+            raise WireError(
+                f"collection element runs past the datagram end "
+                f"({length} bytes declared, {len(data) - offset} left)"
+            )
+        elements.append(data[offset : offset + length])
+        offset += length
+    if not elements:
+        raise WireError("a collection must contain at least one message")
+    return elements
+
+
+def message_wire_bytes(mode: str, payload_bytes: int) -> int:
+    """Wire size of one framed message (header + payload, no transport)."""
+    if payload_bytes < 0:
+        raise WireError(f"payload size must be non-negative: {payload_bytes}")
+    return framing(mode).header_bytes + payload_bytes
+
+
+def datagram_accounting(
+    mode: str, kind: str, payload_sizes: Sequence[int]
+) -> tuple[int, int, int]:
+    """The ``(wire_bytes, header_bytes, messages)`` of one datagram.
+
+    A single-message datagram (every control kind, and data with one
+    payload) is transport overhead + one framed message.  Two or more
+    payloads pack into a ``dispersy-collection``: transport overhead +
+    the collection's own header + per element a 2-byte length prefix
+    and a complete framed inner message.  ``header_bytes`` counts
+    everything that is not payload — transport overhead, framing
+    headers, and length prefixes — which is the quantity sessions and
+    collections exist to shrink per logical message.
+
+    The arithmetic here is pinned byte-for-byte against the real
+    encoders in the test suite, so fleet-scale generation never has to
+    materialize datagram bytes.
+    """
+    spec = framing(mode)
+    _message_id(kind)
+    if not payload_sizes:
+        raise WireError("a datagram must carry at least one payload")
+    if any(size < 0 for size in payload_sizes):
+        raise WireError(f"payload sizes must be non-negative: {list(payload_sizes)}")
+    if len(payload_sizes) == 1:
+        header = DATAGRAM_OVERHEAD_BYTES + spec.header_bytes
+        return header + payload_sizes[0], header, 1
+    if kind in CONTROL_KINDS:
+        raise WireError(f"control kind {kind!r} cannot be packed in a collection")
+    header = (
+        DATAGRAM_OVERHEAD_BYTES
+        + spec.header_bytes
+        + len(payload_sizes) * (_ELEMENT_LENGTH.size + spec.header_bytes)
+    )
+    return header + sum(payload_sizes), header, len(payload_sizes)

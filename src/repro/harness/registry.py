@@ -29,6 +29,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "faults": "repro.faults.campaigns",
     "multicore": "repro.experiments.multicore",
     "flows": "repro.experiments.flows",
+    "gossip": "repro.experiments.gossip",
 }
 
 

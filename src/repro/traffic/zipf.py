@@ -111,6 +111,14 @@ class ZipfFlowSource(TrafficSource):
     flows.  The wrapper is deterministic given ``seed`` and leaves the
     base source's RNG untouched, so the same base stream can be
     re-flowed at several skews for controlled comparisons.
+
+    The base stream is *snapshotted* on first materialization of each
+    horizon: stateful base sources (Pareto on/off in particular) hold a
+    live RNG that advances every time ``arrival_list`` is called, so
+    without the snapshot each materialization of this wrapper would tag
+    a *different* base stream with the *same* pinned flow ids — a
+    mismatch that never surfaces over memoryless Poisson defaults but
+    breaks replay and cross-scheduler comparisons over a bursty base.
     """
 
     def __init__(
@@ -127,6 +135,7 @@ class ZipfFlowSource(TrafficSource):
         self.num_flows = num_flows
         self.skew = float(skew)
         self.seed = int(seed)
+        self._snapshots: dict[float, tuple[Arrival, ...]] = {}
 
     @property
     def rate(self) -> float | None:
@@ -138,9 +147,15 @@ class ZipfFlowSource(TrafficSource):
 
         The whole flow-id block is drawn up front from the derived
         generator, so partial consumption of the iterator cannot shift
-        later draws.
+        later draws; the base stream is materialized exactly once per
+        horizon and cached, so a stateful base source's RNG is consumed
+        exactly once no matter how many times this wrapper is
+        materialized.
         """
-        stream = self.base.arrival_list(duration)
+        stream = self._snapshots.get(duration)
+        if stream is None:
+            stream = tuple(self.base.arrival_list(duration))
+            self._snapshots[duration] = stream
         flows = zipf_flow_ids(
             len(stream), self.num_flows, self.skew, self.seed
         )

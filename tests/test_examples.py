@@ -30,6 +30,7 @@ ALL_EXAMPLES = [
     "web_server",
     "dns_server",
     "ip_router",
+    "gossip_swarm",
 ]
 
 
@@ -90,6 +91,18 @@ def test_ip_router_run():
     assert path.stats.forwarded > 0
     assert path.stats.no_route == 0
     assert path.table.misses == 0
+
+
+def test_gossip_swarm_run():
+    module = load_example("gossip_swarm")
+
+    session = module.run("session", 4, duration=0.02, num_peers=500)
+    sessionless = module.run("sessionless", 4, duration=0.02, num_peers=500)
+    assert session.run.offered == session.run.completed + session.run.dropped
+    assert (
+        session.header_bytes_per_message
+        < sessionless.header_bytes_per_message
+    )
 
 
 def test_checksum_study_correctness(capsys):

@@ -18,6 +18,8 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.harnesscheck import check_flow_org_coverage
 from repro.cache.cache import DirectMappedCache
@@ -29,7 +31,7 @@ from repro.flows import (
     FlowLookup,
     make_flow_cache,
 )
-from repro.flows.runner import flows_point, run_flow_simulation
+from repro.flows.runner import flows_point, make_flow_base, run_flow_simulation
 from repro.harness import ResultCache, run_experiment
 from repro.sim.runner import SimulationConfig, build_scheduler
 from repro.sim.vec import vec_supported
@@ -132,6 +134,105 @@ class TestZipfSource:
     def test_rate_passthrough(self):
         assert zipf_source(rate=12345.0).rate == 12345.0
 
+    def test_num_flows_one_degenerates_to_single_flow(self):
+        ids = zipf_flow_ids(500, 1, 1.3, seed=0)
+        assert ids.shape == (500,)
+        assert np.all(ids == 0)
+        assert zipf_weights(1, 0.0) == pytest.approx([1.0])
+        assert zipf_weights(1, 2.0) == pytest.approx([1.0])
+
+    @given(
+        num_flows=st.integers(2, 256),
+        low=st.floats(0.0, 1.5, allow_nan=False),
+        delta=st.floats(0.05, 1.5, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_top_flow_weight_monotone_in_skew(self, num_flows, low, delta):
+        """The most popular destination's share only grows with skew —
+        the structural property behind the empirical share test above,
+        checked on the exact weights for any population size (gossip
+        peer populations included)."""
+        assert (
+            zipf_weights(num_flows, low + delta)[0]
+            >= zipf_weights(num_flows, low)[0]
+        )
+
+    def test_gossip_peer_popularity_monotone_in_skew(self):
+        """Same monotonicity through the gossip fleet's peer weighting."""
+        from repro.gossip import GossipFleetSpec
+
+        shares = [
+            GossipFleetSpec(num_peers=1000, peer_skew=skew).peer_popularity()[0]
+            for skew in (0.0, 0.7, 1.4)
+        ]
+        assert shares[0] < shares[1] < shares[2]
+
+
+# ----------------------------------------------------------------------
+# The stateful-base snapshot fix (regression guard)
+
+
+class _CountingSource:
+    """Wraps a source and counts how many times its stream is drawn."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.draws = 0
+
+    @property
+    def rate(self):
+        return self.inner.rate
+
+    def arrivals(self, duration):
+        self.draws += 1
+        yield from self.inner.arrivals(duration)
+
+    def arrival_list(self, duration):
+        return list(self.arrivals(duration))
+
+
+class TestStatefulBaseSnapshot:
+    def bursty_source(self, seed=4):
+        from repro.traffic.onoff import ParetoOnOffSource
+
+        return ParetoOnOffSource(
+            num_sources=4, packet_rate_on=4000.0, size=552, rng=seed
+        )
+
+    def test_stateful_base_rematerializes_identically(self):
+        """The bug: re-drawing a stateful base (Pareto ON/OFF keeps live
+        RNG state) from the same ZipfFlowSource advanced the base RNG,
+        so a second materialization silently produced a different
+        stream.  The snapshot fix pins both draws byte-identical."""
+        flowed = ZipfFlowSource(
+            self.bursty_source(), num_flows=64, skew=1.1, seed=4
+        )
+        first = flowed.arrival_list(0.05)
+        second = flowed.arrival_list(0.05)
+        assert first == second
+
+    def test_base_stream_drawn_once_per_duration(self):
+        counting = _CountingSource(self.bursty_source())
+        flowed = ZipfFlowSource(counting, num_flows=64, skew=1.1, seed=4)
+        flowed.arrival_list(0.05)
+        flowed.arrival_list(0.05)
+        assert counting.draws == 1
+        # A different duration is a different snapshot.
+        flowed.arrival_list(0.02)
+        assert counting.draws == 2
+
+    def test_fresh_wrapper_matches_reused_wrapper(self):
+        """Two fresh wrappers and one reused wrapper agree — the
+        snapshot changes nothing for the first materialization."""
+        fresh = ZipfFlowSource(
+            self.bursty_source(), num_flows=64, skew=1.1, seed=4
+        ).arrival_list(0.05)
+        reused = ZipfFlowSource(
+            self.bursty_source(), num_flows=64, skew=1.1, seed=4
+        )
+        reused.arrival_list(0.05)
+        assert reused.arrival_list(0.05) == fresh
+
 
 # ----------------------------------------------------------------------
 # The lookup cache (repro.flows.lookup)
@@ -219,6 +320,52 @@ class TestFlowLookup:
         assert description["organization"] == "lru2"
         assert description["lookups"] == 1
         assert description["misses"] == 1
+        assert description["untagged"] == 0
+
+    def test_charge_batch_untagged_walks_without_touching_cache(self):
+        """The fixed accounting bug: untagged messages (``None``) each
+        pay a full table walk, never dedup, and never touch the cache."""
+        lookup = FlowCacheSpec(entries=16).build()
+        binding = _Binding()
+        cycles = lookup.charge_batch(binding, [3, None, 3, None])
+        assert lookup.demand == 4
+        assert lookup.lookups == 3  # flow 3 once + two walks
+        assert lookup.untagged == 2
+        assert lookup.stats.misses == 1  # only flow 3 touched the cache
+        assert lookup.stats.hits == 0
+        assert cycles == 3 * 120.0
+
+    def test_untagged_does_not_alias_flow_zero(self):
+        """Before the fix, untagged messages were coerced to flow 0 —
+        warming flow 0's cache slot and deduplicating against it.  Now
+        a walk leaves flow 0 cold, and a genuine flow 0 in the same
+        batch still performs its own lookup."""
+        lookup = FlowCacheSpec(entries=16).build()
+        binding = _Binding()
+        lookup.charge_batch(binding, [None])
+        assert lookup.stats.misses == 0  # cache untouched
+        cycles = lookup.charge_batch(binding, [0, None])
+        assert lookup.stats.misses == 1  # flow 0 still cold-misses
+        assert cycles == 2 * 120.0
+        assert lookup.untagged == 2
+
+    def test_scheduler_hook_passes_untagged_as_none(self):
+        """End-to-end through ``charge_flow_lookups``: a message with no
+        FLOW_KEY meta reaches the cache as ``None``, not flow 0."""
+        from repro.core.layer import Message
+        from repro.core.scheduler import charge_flow_lookups
+
+        scheduler = build_scheduler(SimulationConfig(scheduler="ldlp"), 0)
+        lookup = FlowCacheSpec(entries=16).build()
+        scheduler.binding.flow_lookup = lookup
+        tagged = Message(size=100, arrival_time=0.0)
+        tagged.meta["dispatch.flow"] = 0
+        untagged = Message(size=100, arrival_time=0.0)
+        charge_flow_lookups(scheduler, [tagged, untagged, untagged])
+        assert lookup.demand == 3
+        assert lookup.lookups == 3
+        assert lookup.untagged == 2
+        assert lookup.stats.misses == 1  # only the tagged flow
 
 
 # ----------------------------------------------------------------------
@@ -303,6 +450,31 @@ class TestFlowRuns:
         second = flows_point("ldlp", "direct", 16, 1.1, 11000.0, [5], 0.02)
         assert first["result"] != second["result"]
 
+    def test_make_flow_base_builds_and_validates(self):
+        assert make_flow_base("poisson", 9000.0, 552, 0).rate == 9000.0
+        bursty = make_flow_base("bellcore", 9000.0, 552, 0)
+        assert bursty.mean_rate == pytest.approx(9000.0)
+        with pytest.raises(ConfigurationError):
+            make_flow_base("fractal", 9000.0, 552, 0)
+
+    def test_bellcore_point_repeats_byte_identically(self):
+        """The sweep's bursty companion grid is deterministic — the
+        direct consequence of the ZipfFlowSource snapshot fix."""
+        params = ("ldlp", "lru4", 16, 1.1, 9000.0, [0, 1], 0.02)
+        first = flows_point(*params, base="bellcore")
+        second = flows_point(*params, base="bellcore")
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+        assert first["conservation_violations"] == 0
+
+    def test_bellcore_differs_from_poisson(self):
+        params = ("ldlp", "direct", 16, 1.1, 9000.0, [0], 0.02)
+        assert (
+            flows_point(*params, base="bellcore")["result"]
+            != flows_point(*params, base="poisson")["result"]
+        )
+
     def test_hit_ratio_grows_with_cache_size(self):
         ratios = []
         for entries in (4, 16, 64):
@@ -383,11 +555,19 @@ class TestExperimentSweep:
                 exercised.add(point.params["organization"])
         assert exercised == set(FLOW_CACHE_ORGS)
 
+    def test_ci_scale_includes_bellcore_grid(self):
+        bases = {
+            point.params.get("base", "poisson")
+            for point in experiment.sweep_points("ci")
+        }
+        assert bases == {"poisson", "bellcore"}
+
     def test_golden_quantities_pin_the_jain_curves(self):
         points, results = self.shrunk_results()
         quantities = experiment.golden_quantities(points, results)
         assert quantities["conservation_violations"] == 0.0
         assert quantities["lookup_amortization_ok"] == 1.0
+        assert quantities["lookup_reduction_ok"] == 1.0
         monotone = [
             value
             for name, value in quantities.items()
@@ -398,6 +578,7 @@ class TestExperimentSweep:
     def test_exact_tolerances_cover_booleans(self):
         tolerances = experiment.SWEEP.tolerances
         assert "lookup_amortization_ok" in tolerances
+        assert "lookup_reduction_ok" in tolerances
         assert "conservation_violations" in tolerances
         assert any(
             name.endswith("hit_ratio_monotonic") for name in tolerances
